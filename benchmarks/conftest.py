@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark prints the table/figure it regenerates to stdout (run pytest
+with ``-s`` to see them inline; the reports are also echoed into the
+captured output).  ``REPRO_FULL=1`` switches the sweeps from the quick CI
+defaults to the full paper-scale parameter grids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: benchmark that regenerates one of the paper's figures"
+    )
+
+
+@pytest.fixture
+def quick_requests() -> int:
+    """Request-sequence length used by the quick benchmark sweeps."""
+    return 40

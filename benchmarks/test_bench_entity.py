@@ -1,0 +1,70 @@
+"""Benchmark E7 (extension) -- entity-level simulation: coherence-time sensitivity.
+
+Not a figure in the paper; it implements the Section 6 "realistic coherence"
+future-work item and quantifies how physical imperfections erode the
+count-level story the headline figures rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.network.demand import RequestSequence, select_consumer_pairs
+from repro.network.topologies import grid_topology
+from repro.protocols.entity import EntityLevelSimulation
+from repro.quantum.decoherence import ExponentialDecoherence, NoDecoherence
+from repro.sim.rng import RandomStreams
+
+
+def _run(coherence_time, seed=9):
+    streams = RandomStreams(seed)
+    topology = grid_topology(9)
+    pairs = select_consumer_pairs(topology, 6, streams.get("consumers"))
+    requests = RequestSequence.generate(pairs, 15, streams.get("requests"))
+    decoherence = NoDecoherence() if coherence_time is None else ExponentialDecoherence(coherence_time)
+    return EntityLevelSimulation(
+        topology,
+        requests,
+        elementary_fidelity=0.97,
+        decoherence=decoherence,
+        fidelity_threshold=0.7,
+        max_time=400.0,
+        streams=streams,
+    ).run()
+
+
+def test_entity_level_coherence_sweep(benchmark):
+    coherence_times = (3.0, 80.0, None)
+
+    def run():
+        return {value: _run(value) for value in coherence_times}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for coherence_time, result in results.items():
+        rows.append(
+            (
+                "infinite" if coherence_time is None else f"{coherence_time:g}",
+                f"{result.requests_satisfied}/{result.requests_total}",
+                round(result.mean_delivered_fidelity(), 4),
+                result.pairs_expired,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("coherence time", "served", "mean teleport fidelity", "pairs expired"),
+            rows,
+            title="E7: entity-level coherence sensitivity (3x3 torus)",
+        )
+    )
+
+    ideal = results[None]
+    harsh = results[3.0]
+    assert ideal.all_requests_satisfied
+    assert ideal.pairs_expired == 0
+    # Finite memories waste pairs; they can never serve more than the ideal run.
+    assert harsh.pairs_expired > 0
+    assert harsh.requests_satisfied <= ideal.requests_satisfied

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""How long do memories need to live for path-oblivious balancing to pay off?
+
+The paper's core bet (Section 2) is that coherence times will grow until
+pre-positioned Bell pairs stop being a liability.  This example runs the
+*entity-level* simulation -- real pairs with fidelities, exponential memory
+decay, lossy Bell measurements and a transport-layer age cutoff -- across a
+sweep of coherence times, and reports how many teleportation requests were
+served and at what delivered fidelity.
+
+Run with::
+
+    python examples/coherence_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.network import RequestSequence, grid_topology, select_consumer_pairs
+from repro.protocols import EntityLevelSimulation
+from repro.quantum.decoherence import CutoffPolicy, ExponentialDecoherence, NoDecoherence
+from repro.quantum.swap import SwapPhysics
+from repro.sim.rng import RandomStreams
+
+
+def run_once(coherence_time, seed=9):
+    streams = RandomStreams(seed)
+    topology = grid_topology(9)
+    pairs = select_consumer_pairs(topology, 6, streams.get("consumers"))
+    requests = RequestSequence.generate(pairs, 20, streams.get("requests"))
+    decoherence = (
+        NoDecoherence() if coherence_time is None else ExponentialDecoherence(coherence_time)
+    )
+    simulation = EntityLevelSimulation(
+        topology,
+        requests,
+        elementary_fidelity=0.97,
+        decoherence=decoherence,
+        cutoff=CutoffPolicy(max_age=None if coherence_time is None else 3 * coherence_time),
+        swap_physics=SwapPhysics(gate_fidelity=0.99),
+        fidelity_threshold=0.7,
+        max_time=600.0,
+        streams=streams,
+    )
+    return simulation.run()
+
+
+def main() -> None:
+    rows = []
+    for coherence_time in (5.0, 20.0, 80.0, 320.0, None):
+        result = run_once(coherence_time)
+        rows.append(
+            (
+                "infinite" if coherence_time is None else f"{coherence_time:g}",
+                f"{result.requests_satisfied}/{result.requests_total}",
+                round(result.mean_delivered_fidelity(), 4),
+                result.pairs_expired,
+                round(result.swap_failure_rate(), 3),
+                result.swaps_attempted,
+            )
+        )
+    print(
+        format_table(
+            (
+                "coherence time",
+                "requests served",
+                "mean teleport fidelity",
+                "pairs expired",
+                "swap failure rate",
+                "swaps attempted",
+            ),
+            rows,
+            title="Entity-level balancing on a 3x3 torus vs memory coherence time",
+        )
+    )
+    print()
+    print(
+        "Short-lived memories waste most generated pairs (expired before use) and\n"
+        "drag the delivered teleportation fidelity toward the threshold; as the\n"
+        "coherence time grows the entity-level behaviour converges to the\n"
+        "count-level model the paper's evaluation uses."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate the paper's Figure 4 and Figure 5 series.
+
+Runs the same sweeps as the benchmark harness and prints the two figures as
+plain-text tables (one line per topology family).  Pass ``--full`` (or set
+``REPRO_FULL=1``) for the full paper-scale sweep; the default is a quicker
+sweep suitable for a laptop.
+
+Run with::
+
+    python examples/reproduce_figures.py            # quick sweep
+    python examples/reproduce_figures.py --full     # full sweep (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the full paper-scale sweep")
+    parser.add_argument("--seeds", type=int, default=1, help="seeded trials per point")
+    args = parser.parse_args(argv)
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+
+    # Import after REPRO_FULL is set so the sweep presets pick it up.
+    from repro.experiments import run_figure4, run_figure5
+
+    seeds = tuple(range(1, args.seeds + 1))
+
+    start = time.time()
+    figure4 = run_figure4(seeds=seeds)
+    print(figure4.format_report())
+    print(f"\n(figure 4 sweep took {time.time() - start:.1f}s)\n")
+
+    start = time.time()
+    figure5 = run_figure5(seeds=seeds)
+    print(figure5.format_report())
+    print(f"\n(figure 5 sweep took {time.time() - start:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Path-Oblivious Entanglement Swapping for the Quantum Internet -- reproduction.
+
+A from-scratch implementation of the system described in Mutolo, Parekh and
+Rubenstein, *Path-Oblivious Entanglement Swapping for the Quantum Internet*
+(HotNets 2025): the path-oblivious linear-program formulation, the max-min
+distributed balancing protocol, planned-path baselines, the quantum and
+network substrates they run on, and the experiment harness that regenerates
+the paper's evaluation figures.
+
+Quick start::
+
+    from repro.experiments import run_figure4
+    print(run_figure4(n_nodes=25, distillation_values=[1, 2]).format_report())
+
+See README.md for the architecture overview and DESIGN.md for the
+per-experiment index.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

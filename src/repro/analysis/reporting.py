@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each table/figure of the paper as an aligned
+plain-text table (stdout is the only output channel available offline);
+these helpers keep the formatting consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    if not headers:
+        raise ValueError("a table needs at least one column")
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        rendered_rows.append([_render_cell(cell, float_format) for cell in row])
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render_cell(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+def render_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render several named series sharing an x axis (one row per x value).
+
+    ``series`` maps series name -> {x value -> y value}; this is the shape
+    of the paper's figures (one line per topology, swap overhead on the y
+    axis).
+    """
+    if not series:
+        raise ValueError("render_series needs at least one series")
+    x_values: List[object] = []
+    for points in series.values():
+        for x in points:
+            if x not in x_values:
+                x_values.append(x)
+    x_values.sort(key=lambda value: (isinstance(value, str), value))
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row: List[object] = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(float("nan") if value is None else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)

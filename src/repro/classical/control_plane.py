@@ -1,0 +1,85 @@
+"""Control-plane dissemination of the pair-count state.
+
+The balancing protocol needs each node to know (some of) the global count
+table.  :class:`FloodingControlPlane` models the paper's baseline assumption
+-- every node's count vector reaches every other node each round -- and
+accounts for the classical bits this costs, both end-to-end and per link of
+the underlying classical network.  The gossip alternative lives in
+:mod:`repro.classical.gossip`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, Optional
+
+from repro.classical.channel import ClassicalNetwork
+from repro.classical.messages import CountVectorMessage, MessageType, message_size_bits
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.network.topology import Topology
+
+NodeId = Hashable
+
+
+class ControlPlane(abc.ABC):
+    """Interface for count-dissemination cost models."""
+
+    def __init__(self, topology: Topology, ledger: PairCountLedger):
+        self.topology = topology
+        self.ledger = ledger
+        self.rounds_executed = 0
+        self.total_messages = 0
+        self.total_bits = 0
+
+    @abc.abstractmethod
+    def run_round(self, round_index: int) -> None:
+        """Disseminate state for one round, updating the cost counters."""
+
+    def bits_per_round(self) -> float:
+        """Average classical bits per dissemination round so far."""
+        if self.rounds_executed == 0:
+            return 0.0
+        return self.total_bits / self.rounds_executed
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rounds": float(self.rounds_executed),
+            "messages": float(self.total_messages),
+            "bits": float(self.total_bits),
+            "bits_per_round": self.bits_per_round(),
+        }
+
+
+class FloodingControlPlane(ControlPlane):
+    """Every node sends its full count vector to every other node each round.
+
+    When a :class:`~repro.classical.channel.ClassicalNetwork` is provided,
+    messages are routed hop by hop so per-link load is also recorded;
+    otherwise only end-to-end message/bit totals are kept.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        ledger: PairCountLedger,
+        network: Optional[ClassicalNetwork] = None,
+    ):
+        super().__init__(topology, ledger)
+        self.network = network
+
+    def run_round(self, round_index: int) -> None:
+        nodes = self.topology.nodes
+        for source in nodes:
+            counts = self.ledger.snapshot_for(source)
+            size = message_size_bits(MessageType.COUNT_VECTOR, entries=len(counts))
+            for destination in nodes:
+                if destination == source:
+                    continue
+                self.total_messages += 1
+                self.total_bits += size
+                if self.network is not None:
+                    message = CountVectorMessage(
+                        source=source, destination=destination, counts=counts
+                    ).to_message()
+                    self.network.deliver(message)
+        self.rounds_executed += 1

@@ -1,0 +1,110 @@
+"""Classical message vocabulary and size model.
+
+The paper repeatedly stresses that only *a few bits* of classical
+information are needed per quantum operation (2 bits per swap or
+teleportation correction), while the balancing protocol's count
+dissemination can be much heavier (up to ``|N| choose 2`` counts).  The
+classes here give every message an explicit size in bits so experiments can
+compare control-plane load across protocols quantitatively.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Tuple
+
+NodeId = Hashable
+
+#: Bits used to encode one node identifier in control messages.
+NODE_ID_BITS = 16
+#: Bits used to encode one pair count in a count-vector message.
+COUNT_BITS = 16
+
+
+class MessageType(enum.Enum):
+    """Kinds of classical control messages the simulations account for."""
+
+    SWAP_CORRECTION = "swap_correction"
+    TELEPORT_CORRECTION = "teleport_correction"
+    COUNT_VECTOR = "count_vector"
+    PATH_RESERVATION = "path_reservation"
+    PATH_RELEASE = "path_release"
+    HERALD = "herald"
+
+
+@dataclass(frozen=True)
+class ClassicalMessage:
+    """A generic classical control message."""
+
+    message_type: MessageType
+    source: NodeId
+    destination: NodeId
+    size_bits: int
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"message size must be positive, got {self.size_bits}")
+
+
+@dataclass(frozen=True)
+class SwapCorrectionMessage:
+    """The 2-bit Pauli-frame correction sent after a swap or teleportation."""
+
+    source: NodeId
+    destination: NodeId
+    bits: Tuple[int, int]
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ValueError(f"correction bits must be 0/1, got {self.bits}")
+
+    def to_message(self) -> ClassicalMessage:
+        return ClassicalMessage(
+            message_type=MessageType.SWAP_CORRECTION,
+            source=self.source,
+            destination=self.destination,
+            size_bits=2,
+            sent_at=self.sent_at,
+        )
+
+
+@dataclass(frozen=True)
+class CountVectorMessage:
+    """One node's pair-count vector, as disseminated by the control plane."""
+
+    source: NodeId
+    destination: NodeId
+    counts: Dict[NodeId, int] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+    def to_message(self) -> ClassicalMessage:
+        return ClassicalMessage(
+            message_type=MessageType.COUNT_VECTOR,
+            source=self.source,
+            destination=self.destination,
+            size_bits=message_size_bits(MessageType.COUNT_VECTOR, entries=len(self.counts)),
+            sent_at=self.sent_at,
+        )
+
+
+def message_size_bits(message_type: MessageType, entries: int = 0, path_hops: int = 0) -> int:
+    """Size (in bits) of a message of the given type.
+
+    ``entries`` is the number of ``(partner, count)`` records in a count
+    vector; ``path_hops`` the number of hops in a reservation message.
+    """
+    if entries < 0 or path_hops < 0:
+        raise ValueError("entries and path_hops must be non-negative")
+    if message_type in (MessageType.SWAP_CORRECTION, MessageType.TELEPORT_CORRECTION):
+        return 2
+    if message_type is MessageType.HERALD:
+        return 1
+    if message_type is MessageType.COUNT_VECTOR:
+        return max(entries, 1) * (NODE_ID_BITS + COUNT_BITS)
+    if message_type in (MessageType.PATH_RESERVATION, MessageType.PATH_RELEASE):
+        return max(path_hops, 1) * NODE_ID_BITS
+    raise ValueError(f"unhandled message type {message_type}")  # pragma: no cover

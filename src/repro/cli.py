@@ -1,0 +1,117 @@
+"""Command-line interface.
+
+``python -m repro <experiment>`` (or the installed ``repro-quantum`` script)
+runs one of the experiments from :mod:`repro.experiments` and prints its
+plain-text report.  Run ``python -m repro --list`` to see what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    run_ablations,
+    run_classical_overhead,
+    run_comparison,
+    run_figure4,
+    run_figure5,
+    run_lp_validation,
+)
+
+
+def _run_figure4(args: argparse.Namespace) -> str:
+    distillations = args.distillation or None
+    return run_figure4(
+        n_nodes=args.nodes,
+        distillation_values=distillations,
+        seeds=tuple(range(1, args.seeds + 1)),
+        n_requests=args.requests,
+    ).format_report()
+
+
+def _run_figure5(args: argparse.Namespace) -> str:
+    sizes = args.sizes or None
+    return run_figure5(
+        network_sizes=sizes,
+        seeds=tuple(range(1, args.seeds + 1)),
+        n_requests=args.requests,
+    ).format_report()
+
+
+def _run_lp(args: argparse.Namespace) -> str:
+    return run_lp_validation(n_nodes=args.nodes).format_report()
+
+
+def _run_comparison(args: argparse.Namespace) -> str:
+    return run_comparison(
+        topology=args.topology,
+        n_nodes=args.nodes,
+        distillation=args.distillation_single,
+        n_requests=args.requests,
+    ).format_report()
+
+
+def _run_ablations(args: argparse.Namespace) -> str:
+    return run_ablations(n_nodes=args.nodes, n_requests=args.requests).format_report()
+
+
+def _run_classical(args: argparse.Namespace) -> str:
+    return run_classical_overhead(n_nodes=args.nodes).format_report()
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "lp": _run_lp,
+    "comparison": _run_comparison,
+    "ablations": _run_ablations,
+    "classical": _run_classical,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-quantum",
+        description="Path-oblivious entanglement swapping (HotNets 2025) reproduction",
+    )
+    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument("--nodes", type=int, default=25, help="number of nodes |N| (default 25)")
+    parser.add_argument(
+        "--requests", type=int, default=50, help="length of the consumption request sequence"
+    )
+    parser.add_argument("--seeds", type=int, default=1, help="number of seeded trials per point")
+    parser.add_argument(
+        "--distillation",
+        type=float,
+        nargs="*",
+        help="distillation overhead values D to sweep (figure4)",
+    )
+    parser.add_argument(
+        "--distillation-single",
+        type=float,
+        default=1.0,
+        help="distillation overhead D for single-point experiments",
+    )
+    parser.add_argument("--sizes", type=int, nargs="*", help="network sizes |N| to sweep (figure5)")
+    parser.add_argument("--topology", default="cycle", help="topology name for the comparison experiment")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    report = EXPERIMENTS[args.experiment](args)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

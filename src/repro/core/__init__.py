@@ -1,0 +1,65 @@
+"""The paper's primary contribution.
+
+Two halves, mirroring Sections 3 and 4 of the paper:
+
+* :mod:`repro.core.lp` -- the path-oblivious *linear flow program*: given
+  generation capabilities ``g(x, y)``, consumption demand ``c(x, y)`` and
+  per-pair overheads (distillation ``D``, loss ``L``, QEC ``R``), solve for
+  the steady-state swap rates ``sigma_i(x, y)`` under one of several
+  optimization objectives.
+* :mod:`repro.core.maxmin` -- the distributed *max-min balancing* protocol:
+  a node performs the swap ``y' <- x -> y`` only when doing so does not push
+  any pair count below the count it is helping, preferring the most
+  starved recipient pair.
+
+:mod:`repro.core.hybrid` implements the Section 6 extension that falls back
+to minimal planning (shortest path over the *current entanglement graph*)
+when a consumption request cannot be served immediately.
+"""
+
+from repro.core.lp import (
+    LinearProgram,
+    LPSolution,
+    Objective,
+    PairOverheads,
+    PathObliviousFlowProgram,
+    SteadyStateRates,
+    solve_flow_program,
+)
+from repro.core.maxmin import (
+    BalancingPolicy,
+    DistanceWeightedPolicy,
+    GossipKnowledge,
+    GlobalKnowledge,
+    KnowledgeModel,
+    MaxMinBalancer,
+    MinRecipientCountPolicy,
+    PairCountLedger,
+    RandomPreferablePolicy,
+    SwapCandidate,
+    SwapRecord,
+)
+from repro.core.hybrid import HybridPlanner, entanglement_graph
+
+__all__ = [
+    "BalancingPolicy",
+    "DistanceWeightedPolicy",
+    "GlobalKnowledge",
+    "GossipKnowledge",
+    "HybridPlanner",
+    "KnowledgeModel",
+    "LPSolution",
+    "LinearProgram",
+    "MaxMinBalancer",
+    "MinRecipientCountPolicy",
+    "Objective",
+    "PairCountLedger",
+    "PairOverheads",
+    "PathObliviousFlowProgram",
+    "RandomPreferablePolicy",
+    "SteadyStateRates",
+    "SwapCandidate",
+    "SwapRecord",
+    "entanglement_graph",
+    "solve_flow_program",
+]

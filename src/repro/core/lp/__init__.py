@@ -1,0 +1,21 @@
+"""Path-oblivious linear-program formulation (paper, Section 3)."""
+
+from repro.core.lp.extensions import PairOverheads
+from repro.core.lp.formulation import LinearProgram, PathObliviousFlowProgram, VariableIndex
+from repro.core.lp.objectives import Objective
+from repro.core.lp.solver import LPSolution, solve_flow_program, solve_linear_program
+from repro.core.lp.steady_state import SteadyStateRates, compute_rates, verify_steady_state
+
+__all__ = [
+    "LPSolution",
+    "LinearProgram",
+    "Objective",
+    "PairOverheads",
+    "PathObliviousFlowProgram",
+    "SteadyStateRates",
+    "VariableIndex",
+    "compute_rates",
+    "solve_flow_program",
+    "solve_linear_program",
+    "verify_steady_state",
+]

@@ -1,0 +1,285 @@
+"""Building the path-oblivious linear flow program.
+
+The decision variables are the swap rates ``sigma_i(x, y)`` (one per ordered
+choice of repeater ``i`` and unordered pair ``{x, y}`` with ``i`` not in the
+pair), plus -- depending on the optimization objective -- per-pair generation
+rates ``g(x, y)`` bounded by the physical capability ``gamma``, per-pair
+consumption rates ``c(x, y)`` bounded by the demand ``kappa``, a uniform
+scaling factor ``alpha``, and min/max auxiliary variables.
+
+The only structural constraints are the per-pair steady-state balance
+inequalities of Section 3.1/3.2:
+
+``D_{x,y} ( c(x,y) + sum_i sigma_x(i,y) + sigma_y(i,x) )
+    <=  L_{x,y} ( g(x,y) + sum_i sigma_i(x,y) )``
+
+plus variable bounds.  Everything else (which objective, which variables are
+free) is decided by :class:`~repro.core.lp.objectives.Objective`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.lp.extensions import PairOverheads
+from repro.core.lp.objectives import Objective
+from repro.network.demand import DemandMatrix
+from repro.network.topology import EdgeKey, Topology, edge_key
+
+NodeId = Hashable
+
+
+class VariableIndex:
+    """Maps structured variable names to dense column indices."""
+
+    def __init__(self) -> None:
+        self._names: List[Tuple] = []
+        self._index: Dict[Tuple, int] = {}
+
+    def add(self, name: Tuple) -> int:
+        """Register ``name`` (idempotent) and return its column index."""
+        if name in self._index:
+            return self._index[name]
+        index = len(self._names)
+        self._names.append(name)
+        self._index[name] = index
+        return index
+
+    def index_of(self, name: Tuple) -> int:
+        return self._index[name]
+
+    def __contains__(self, name: Tuple) -> bool:
+        return name in self._index
+
+    def names(self) -> List[Tuple]:
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+@dataclass
+class LinearProgram:
+    """A linear program in the form scipy's ``linprog`` expects.
+
+    ``minimize c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``
+    and per-variable ``bounds``.  ``maximize`` objectives are encoded by
+    negating ``objective`` and setting ``sense`` so the solver can report
+    the natural (non-negated) optimum.
+    """
+
+    variables: VariableIndex
+    objective: np.ndarray
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: Optional[sparse.csr_matrix] = None
+    b_eq: Optional[np.ndarray] = None
+    bounds: List[Tuple[float, Optional[float]]] = field(default_factory=list)
+    sense: str = "min"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        count = self.a_ub.shape[0] if self.a_ub is not None else 0
+        if self.a_eq is not None:
+            count += self.a_eq.shape[0]
+        return count
+
+
+class PathObliviousFlowProgram:
+    """Builds the paper's LP for a topology, a demand matrix and overheads.
+
+    Parameters
+    ----------
+    topology:
+        The generation graph; its edge rates are the capabilities
+        ``gamma_{x,y}`` (maximum generation rates).
+    demand:
+        Desired consumption rates ``kappa_{x,y}``.
+    overheads:
+        Distillation/loss overheads (defaults to ``D = L = 1``).
+    qec_overhead:
+        The QEC rate ``R``; generation capabilities are thinned to
+        ``gamma / R`` per Section 3.2.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        demand: DemandMatrix,
+        overheads: Optional[PairOverheads] = None,
+        qec_overhead: float = 1.0,
+    ):
+        if qec_overhead < 1.0:
+            raise ValueError(f"QEC overhead R must be >= 1, got {qec_overhead}")
+        if not topology.is_connected():
+            raise ValueError(
+                "the generation graph must be connected; disconnected components can "
+                "never share Bell pairs (paper, Section 3)"
+            )
+        self.topology = topology
+        self.demand = demand
+        self.overheads = overheads if overheads is not None else PairOverheads()
+        self.qec_overhead = float(qec_overhead)
+
+        self.nodes: List[NodeId] = list(topology.nodes)
+        self.pairs: List[EdgeKey] = sorted(topology.node_pairs(), key=repr)
+        self._pair_set = set(self.pairs)
+
+        for pair in demand.pairs():
+            if pair[0] not in topology or pair[1] not in topology:
+                raise ValueError(f"demand pair {pair} references nodes outside the topology")
+
+    # ------------------------------------------------------------------ #
+    # Capability lookups
+    # ------------------------------------------------------------------ #
+    def generation_capability(self, pair: EdgeKey) -> float:
+        """``gamma_{x,y} / R``: the maximum usable generation rate of a pair."""
+        return self.topology.generation_rate(*pair) / self.qec_overhead
+
+    def demand_rate(self, pair: EdgeKey) -> float:
+        """``kappa_{x,y}``: the desired consumption rate of a pair."""
+        return self.demand.rate(*pair)
+
+    def swap_triples(self) -> List[Tuple[NodeId, EdgeKey]]:
+        """All ``(repeater, pair)`` combinations for which a swap variable exists."""
+        triples: List[Tuple[NodeId, EdgeKey]] = []
+        for pair in self.pairs:
+            for node in self.nodes:
+                if node not in pair:
+                    triples.append((node, pair))
+        return triples
+
+    # ------------------------------------------------------------------ #
+    # LP construction
+    # ------------------------------------------------------------------ #
+    def build(self, objective: Objective) -> LinearProgram:
+        """Construct the :class:`LinearProgram` for the requested objective."""
+        variables = VariableIndex()
+        bounds: List[Tuple[float, Optional[float]]] = []
+
+        def add_variable(name: Tuple, lower: float, upper: Optional[float]) -> int:
+            index = variables.add(name)
+            if index == len(bounds):
+                bounds.append((lower, upper))
+            return index
+
+        # Swap-rate variables exist for every objective.
+        for node, pair in self.swap_triples():
+            add_variable(("sigma", node, pair), 0.0, None)
+
+        generation_is_variable = objective.generation_is_variable()
+        consumption_is_variable = objective.consumption_is_variable()
+        uses_alpha = objective is Objective.MAX_PROPORTIONAL_ALPHA
+
+        if generation_is_variable:
+            for pair in self.pairs:
+                capability = self.generation_capability(pair)
+                if capability > 0:
+                    add_variable(("g", pair), 0.0, capability)
+        if consumption_is_variable:
+            for pair in self.pairs:
+                kappa = self.demand_rate(pair)
+                if kappa > 0:
+                    add_variable(("c", pair), 0.0, kappa)
+        if uses_alpha:
+            add_variable(("alpha",), 0.0, None)
+        if objective is Objective.MIN_MAX_GENERATION:
+            add_variable(("max_generation",), 0.0, None)
+        if objective is Objective.MAX_MIN_CONSUMPTION:
+            add_variable(("min_consumption",), 0.0, None)
+
+        rows: List[Dict[int, float]] = []
+        rhs: List[float] = []
+
+        # Per-pair steady-state balance: departures <= arrivals.
+        for pair in self.pairs:
+            x, y = pair
+            distillation = self.overheads.distillation_for(x, y)
+            loss = self.overheads.loss_for(x, y)
+            row: Dict[int, float] = {}
+            constant = 0.0
+
+            # Departures: consumption ...
+            kappa = self.demand_rate(pair)
+            if uses_alpha and kappa > 0:
+                row[variables.index_of(("alpha",))] = (
+                    row.get(variables.index_of(("alpha",)), 0.0) + distillation * kappa
+                )
+            elif consumption_is_variable and kappa > 0:
+                row[variables.index_of(("c", pair))] = distillation
+            else:
+                constant += distillation * kappa
+
+            # ... plus swaps at x or y that consume this pair.
+            for node in self.nodes:
+                if node in pair:
+                    continue
+                swap_at_x = ("sigma", x, edge_key(node, y))
+                swap_at_y = ("sigma", y, edge_key(node, x))
+                for name in (swap_at_x, swap_at_y):
+                    index = variables.index_of(name)
+                    row[index] = row.get(index, 0.0) + distillation
+
+            # Arrivals: generation ...
+            capability = self.generation_capability(pair)
+            if generation_is_variable and capability > 0:
+                index = variables.index_of(("g", pair))
+                row[index] = row.get(index, 0.0) - loss
+            else:
+                constant -= loss * capability
+
+            # ... plus swaps at third nodes that create this pair.
+            for node in self.nodes:
+                if node in pair:
+                    continue
+                index = variables.index_of(("sigma", node, pair))
+                row[index] = row.get(index, 0.0) - loss
+
+            rows.append(row)
+            rhs.append(-constant)
+
+        # Objective-specific auxiliary constraints.
+        if objective is Objective.MIN_MAX_GENERATION:
+            max_index = variables.index_of(("max_generation",))
+            for pair in self.pairs:
+                if ("g", pair) in variables:
+                    rows.append({variables.index_of(("g", pair)): 1.0, max_index: -1.0})
+                    rhs.append(0.0)
+        if objective is Objective.MAX_MIN_CONSUMPTION:
+            min_index = variables.index_of(("min_consumption",))
+            for pair in self.pairs:
+                if ("c", pair) in variables:
+                    rows.append({min_index: 1.0, variables.index_of(("c", pair)): -1.0})
+                    rhs.append(0.0)
+
+        a_ub = sparse.lil_matrix((len(rows), len(variables)))
+        for row_index, row in enumerate(rows):
+            for column, value in row.items():
+                a_ub[row_index, column] = value
+        b_ub = np.array(rhs, dtype=float)
+
+        objective_vector, sense = objective.build_objective_vector(variables, self)
+
+        return LinearProgram(
+            variables=variables,
+            objective=objective_vector,
+            a_ub=a_ub.tocsr(),
+            b_ub=b_ub,
+            bounds=bounds,
+            sense=sense,
+            metadata={
+                "objective": objective,
+                "n_nodes": len(self.nodes),
+                "n_pairs": len(self.pairs),
+                "qec_overhead": self.qec_overhead,
+            },
+        )

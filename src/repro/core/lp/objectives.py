@@ -1,0 +1,110 @@
+"""Optimization objectives for the path-oblivious LP (paper, §3.3).
+
+The paper lists the following possibilities, all of which are implemented:
+
+* When generation suffices for the demand -- conserve generation: either
+  minimize total generation (:data:`Objective.MIN_TOTAL_GENERATION`) or
+  minimize the maximum per-pair generation rate
+  (:data:`Objective.MIN_MAX_GENERATION`).
+* When generation is insufficient -- reduce consumption fairly: maximize the
+  total served consumption (:data:`Objective.MAX_TOTAL_CONSUMPTION`),
+  maximize the minimum served consumption
+  (:data:`Objective.MAX_MIN_CONSUMPTION`), or find the largest uniform
+  scaling ``alpha`` with ``c = alpha * kappa``
+  (:data:`Objective.MAX_PROPORTIONAL_ALPHA`).
+* :data:`Objective.MIN_TOTAL_SWAPS` is an additional objective (not in the
+  paper) used by the ablation experiments: it serves the full demand while
+  minimizing the total swap rate, i.e. the LP analogue of the swap-overhead
+  metric.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.lp.formulation import PathObliviousFlowProgram, VariableIndex
+
+
+class Objective(enum.Enum):
+    """Which quantity the flow program optimises."""
+
+    MIN_TOTAL_GENERATION = "min_total_generation"
+    MIN_MAX_GENERATION = "min_max_generation"
+    MAX_TOTAL_CONSUMPTION = "max_total_consumption"
+    MAX_MIN_CONSUMPTION = "max_min_consumption"
+    MAX_PROPORTIONAL_ALPHA = "max_proportional_alpha"
+    MIN_TOTAL_SWAPS = "min_total_swaps"
+
+    # ------------------------------------------------------------------ #
+    # Which quantities are variables under this objective
+    # ------------------------------------------------------------------ #
+    def generation_is_variable(self) -> bool:
+        """Whether per-pair generation rates are decision variables.
+
+        Generation is variable for the conservation objectives (we are
+        choosing how much to generate) and for the consumption-maximising
+        objectives (the paper: "also find {g(x,y)} and {c(x,y)} such that
+        g <= gamma and c <= kappa").  For :data:`MIN_TOTAL_SWAPS` generation
+        is pinned at capability, isolating the effect of swap placement.
+        """
+        return self in (
+            Objective.MIN_TOTAL_GENERATION,
+            Objective.MIN_MAX_GENERATION,
+            Objective.MAX_TOTAL_CONSUMPTION,
+            Objective.MAX_MIN_CONSUMPTION,
+            Objective.MAX_PROPORTIONAL_ALPHA,
+        )
+
+    def consumption_is_variable(self) -> bool:
+        """Whether per-pair consumption rates are decision variables."""
+        return self in (Objective.MAX_TOTAL_CONSUMPTION, Objective.MAX_MIN_CONSUMPTION)
+
+    def is_maximization(self) -> bool:
+        return self in (
+            Objective.MAX_TOTAL_CONSUMPTION,
+            Objective.MAX_MIN_CONSUMPTION,
+            Objective.MAX_PROPORTIONAL_ALPHA,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Objective vector
+    # ------------------------------------------------------------------ #
+    def build_objective_vector(
+        self, variables: "VariableIndex", program: "PathObliviousFlowProgram"
+    ) -> Tuple[np.ndarray, str]:
+        """Return ``(coefficients, sense)`` for scipy's minimisation form.
+
+        ``coefficients`` is already negated for maximization objectives so
+        the solver always minimises; ``sense`` records the natural sense so
+        reported optima can be un-negated.
+        """
+        coefficients = np.zeros(len(variables))
+        if self is Objective.MIN_TOTAL_GENERATION:
+            for name in variables.names():
+                if name[0] == "g":
+                    coefficients[variables.index_of(name)] = 1.0
+            return coefficients, "min"
+        if self is Objective.MIN_MAX_GENERATION:
+            coefficients[variables.index_of(("max_generation",))] = 1.0
+            return coefficients, "min"
+        if self is Objective.MAX_TOTAL_CONSUMPTION:
+            for name in variables.names():
+                if name[0] == "c":
+                    coefficients[variables.index_of(name)] = -1.0
+            return coefficients, "max"
+        if self is Objective.MAX_MIN_CONSUMPTION:
+            coefficients[variables.index_of(("min_consumption",))] = -1.0
+            return coefficients, "max"
+        if self is Objective.MAX_PROPORTIONAL_ALPHA:
+            coefficients[variables.index_of(("alpha",))] = -1.0
+            return coefficients, "max"
+        if self is Objective.MIN_TOTAL_SWAPS:
+            for name in variables.names():
+                if name[0] == "sigma":
+                    coefficients[variables.index_of(name)] = 1.0
+            return coefficients, "min"
+        raise ValueError(f"unhandled objective {self}")  # pragma: no cover

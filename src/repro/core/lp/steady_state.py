@@ -1,0 +1,156 @@
+"""Steady-state rate analysis (paper, §3.1-3.2).
+
+Given any assignment of generation, consumption and swap rates -- whether
+produced by the LP solver or measured from a simulation run -- compute the
+arrival rate ``r+(x, y)`` and departure rate ``r-(x, y)`` for every pair and
+check the steady-state conditions the paper derives:
+
+* ``r-(x, y) <= r+(x, y)`` for every pair (pairs cannot depart faster than
+  they arrive),
+* per-node budget ``sum_y c(x, y) <= sum_y g(x, y)`` (a node can never
+  consume more than it generates, because swaps never increase the number
+  of pairs held at a node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.core.lp.extensions import PairOverheads
+from repro.network.topology import EdgeKey, Topology, edge_key
+
+NodeId = Hashable
+SwapRates = Mapping[Tuple[NodeId, EdgeKey], float]
+PairRates = Mapping[EdgeKey, float]
+
+
+@dataclass
+class SteadyStateRates:
+    """Arrival/departure rates per pair plus the violations found (if any)."""
+
+    arrivals: Dict[EdgeKey, float] = field(default_factory=dict)
+    departures: Dict[EdgeKey, float] = field(default_factory=dict)
+    violations: List[str] = field(default_factory=list)
+
+    def slack(self, pair: EdgeKey) -> float:
+        """``r+ - r-`` for one pair (negative = violated)."""
+        return self.arrivals.get(pair, 0.0) - self.departures.get(pair, 0.0)
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.violations
+
+    def total_arrival_rate(self) -> float:
+        return sum(self.arrivals.values())
+
+    def total_departure_rate(self) -> float:
+        return sum(self.departures.values())
+
+
+def compute_rates(
+    nodes: List[NodeId],
+    generation: PairRates,
+    consumption: PairRates,
+    swap_rates: SwapRates,
+    overheads: Optional[PairOverheads] = None,
+) -> SteadyStateRates:
+    """Compute ``r+`` and ``r-`` for every pair appearing in any input.
+
+    Implements equations (3) and (4) of the paper:
+
+    ``r+(x,y) = L_{x,y} (g(x,y) + sum_i sigma_i(x,y))``
+    ``r-(x,y) = D_{x,y} (c(x,y) + sum_i sigma_x(i,y) + sigma_y(i,x))``
+    """
+    overheads = overheads if overheads is not None else PairOverheads()
+    arrivals: Dict[EdgeKey, float] = {}
+    departures: Dict[EdgeKey, float] = {}
+
+    def bump(table: Dict[EdgeKey, float], pair: EdgeKey, amount: float) -> None:
+        table[pair] = table.get(pair, 0.0) + amount
+
+    for pair, rate in generation.items():
+        key = edge_key(*pair)
+        bump(arrivals, key, overheads.loss_for(*key) * rate)
+    for pair, rate in consumption.items():
+        key = edge_key(*pair)
+        bump(departures, key, overheads.distillation_for(*key) * rate)
+    for (repeater, pair), rate in swap_rates.items():
+        produced = edge_key(*pair)
+        if repeater in produced:
+            raise ValueError(f"swap rate at {repeater!r} for pair {produced} is degenerate")
+        # The swap creates `produced` ...
+        bump(arrivals, produced, overheads.loss_for(*produced) * rate)
+        # ... and consumes (repeater, produced[0]) and (repeater, produced[1]).
+        for endpoint in produced:
+            consumed = edge_key(repeater, endpoint)
+            bump(departures, consumed, overheads.distillation_for(*consumed) * rate)
+
+    return SteadyStateRates(arrivals=arrivals, departures=departures)
+
+
+def verify_steady_state(
+    rates: SteadyStateRates,
+    tolerance: float = 1e-6,
+) -> SteadyStateRates:
+    """Populate ``rates.violations`` with any pair whose departures exceed arrivals."""
+    rates.violations = []
+    pairs = set(rates.arrivals) | set(rates.departures)
+    for pair in sorted(pairs, key=repr):
+        slack = rates.slack(pair)
+        if slack < -tolerance:
+            rates.violations.append(
+                f"pair {pair}: departures {rates.departures.get(pair, 0.0):.6f} exceed "
+                f"arrivals {rates.arrivals.get(pair, 0.0):.6f} by {-slack:.6f}"
+            )
+    return rates
+
+
+def node_budget_violations(
+    topology: Topology,
+    generation: PairRates,
+    consumption: PairRates,
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Check the per-node budget ``sum_y c(x,y) <= sum_y g(x,y)`` (paper, §3).
+
+    A node that consumes more than it generates in aggregate can never keep
+    up, regardless of how swaps are arranged, because a swap never increases
+    the number of Bell-pair halves stored at any single node.
+    """
+    violations: List[str] = []
+    for node in topology.nodes:
+        generated = sum(rate for pair, rate in generation.items() if node in pair)
+        consumed = sum(rate for pair, rate in consumption.items() if node in pair)
+        if consumed > generated + tolerance:
+            violations.append(
+                f"node {node!r}: aggregate consumption {consumed:.6f} exceeds "
+                f"aggregate generation {generated:.6f}"
+            )
+    return violations
+
+
+def max_feasible_uniform_demand(
+    topology: Topology,
+    demand_pairs: List[EdgeKey],
+    overheads: Optional[PairOverheads] = None,
+    qec_overhead: float = 1.0,
+) -> float:
+    """Largest uniform per-pair rate ``kappa`` the network can serve on ``demand_pairs``.
+
+    A convenience built on the ``MAX_PROPORTIONAL_ALPHA`` objective with unit
+    demand on every listed pair; used by capacity-planning examples.
+    """
+    from repro.core.lp.formulation import PathObliviousFlowProgram
+    from repro.core.lp.objectives import Objective
+    from repro.core.lp.solver import solve_flow_program
+    from repro.network.demand import uniform_demand
+
+    if not demand_pairs:
+        raise ValueError("demand_pairs must be non-empty")
+    demand = uniform_demand(demand_pairs, rate=1.0)
+    program = PathObliviousFlowProgram(
+        topology, demand, overheads=overheads, qec_overhead=qec_overhead
+    )
+    solution = solve_flow_program(program, Objective.MAX_PROPORTIONAL_ALPHA)
+    return solution.alpha if solution.alpha is not None else 0.0

@@ -1,0 +1,26 @@
+"""Max-min distributed balancing (paper, Section 4)."""
+
+from repro.core.maxmin.balancer import MaxMinBalancer, SwapRecord
+from repro.core.maxmin.knowledge import GlobalKnowledge, GossipKnowledge, KnowledgeModel
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.core.maxmin.policy import (
+    BalancingPolicy,
+    DistanceWeightedPolicy,
+    MinRecipientCountPolicy,
+    RandomPreferablePolicy,
+    SwapCandidate,
+)
+
+__all__ = [
+    "BalancingPolicy",
+    "DistanceWeightedPolicy",
+    "GlobalKnowledge",
+    "GossipKnowledge",
+    "KnowledgeModel",
+    "MaxMinBalancer",
+    "MinRecipientCountPolicy",
+    "PairCountLedger",
+    "RandomPreferablePolicy",
+    "SwapCandidate",
+    "SwapRecord",
+]

@@ -1,0 +1,133 @@
+"""The global Bell-pair count ledger.
+
+The balancing protocol of Section 4 operates on counts: each node ``x``
+maintains ``C_x(y)``, the number of Bell pairs it currently shares with each
+other node ``y``, and by symmetry ``C_x(y) = C_y(x)``.
+:class:`PairCountLedger` is the authoritative, symmetric count table used by
+the count-level simulations; the knowledge models in
+:mod:`repro.core.maxmin.knowledge` decide how much of it each node can see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.network.topology import EdgeKey, edge_key
+
+NodeId = Hashable
+
+
+class PairCountLedger:
+    """Symmetric table of Bell-pair counts ``C_x(y)``.
+
+    Counts are non-negative integers; every mutation keeps the two
+    directions consistent (``C_x(y) == C_y(x)`` always holds).
+    """
+
+    def __init__(self, nodes: Optional[Iterable[NodeId]] = None):
+        self._counts: Dict[NodeId, Dict[NodeId, int]] = {}
+        for node in nodes or []:
+            self.ensure_node(node)
+
+    # ------------------------------------------------------------------ #
+    # Node management
+    # ------------------------------------------------------------------ #
+    def ensure_node(self, node: NodeId) -> None:
+        """Register ``node`` (idempotent)."""
+        self._counts.setdefault(node, {})
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        return list(self._counts)
+
+    # ------------------------------------------------------------------ #
+    # Counts
+    # ------------------------------------------------------------------ #
+    def count(self, node_a: NodeId, node_b: NodeId) -> int:
+        """The count ``C_a(b) = C_b(a)`` (zero for unknown nodes or pairs)."""
+        if node_a == node_b:
+            return 0
+        return self._counts.get(node_a, {}).get(node_b, 0)
+
+    def add(self, node_a: NodeId, node_b: NodeId, amount: int = 1) -> int:
+        """Add ``amount`` pairs between the two nodes; returns the new count."""
+        if node_a == node_b:
+            raise ValueError(f"cannot add a pair between {node_a!r} and itself")
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        self.ensure_node(node_a)
+        self.ensure_node(node_b)
+        new_count = self.count(node_a, node_b) + int(amount)
+        self._counts[node_a][node_b] = new_count
+        self._counts[node_b][node_a] = new_count
+        return new_count
+
+    def remove(self, node_a: NodeId, node_b: NodeId, amount: int = 1) -> int:
+        """Remove ``amount`` pairs; raises when fewer than ``amount`` exist."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        current = self.count(node_a, node_b)
+        if current < amount:
+            raise ValueError(
+                f"cannot remove {amount} pairs between {node_a!r} and {node_b!r}; "
+                f"only {current} present"
+            )
+        new_count = current - int(amount)
+        if new_count == 0:
+            self._counts[node_a].pop(node_b, None)
+            self._counts[node_b].pop(node_a, None)
+        else:
+            self._counts[node_a][node_b] = new_count
+            self._counts[node_b][node_a] = new_count
+        return new_count
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def partners(self, node: NodeId) -> Dict[NodeId, int]:
+        """Nodes with which ``node`` currently shares pairs, and the counts."""
+        return {partner: count for partner, count in self._counts.get(node, {}).items() if count > 0}
+
+    def entanglement_degree(self, node: NodeId) -> int:
+        """Number of distinct partners ``node`` shares at least one pair with."""
+        return len(self.partners(node))
+
+    def nonzero_pairs(self) -> Dict[EdgeKey, int]:
+        """Every pair with a positive count, keyed canonically."""
+        result: Dict[EdgeKey, int] = {}
+        for node, partners in self._counts.items():
+            for partner, count in partners.items():
+                if count > 0:
+                    result[edge_key(node, partner)] = count
+        return result
+
+    def total_pairs(self) -> int:
+        """Total number of Bell pairs currently in the network."""
+        return sum(self.nonzero_pairs().values())
+
+    def minimum_count(self) -> int:
+        """Smallest positive count (0 when the ledger is empty)."""
+        counts = list(self.nonzero_pairs().values())
+        return min(counts) if counts else 0
+
+    def maximum_count(self) -> int:
+        """Largest count (0 when the ledger is empty)."""
+        counts = list(self.nonzero_pairs().values())
+        return max(counts) if counts else 0
+
+    def snapshot_for(self, node: NodeId) -> Dict[NodeId, int]:
+        """A copy of ``node``'s count vector (what a gossip message would carry)."""
+        return dict(self.partners(node))
+
+    def copy(self) -> "PairCountLedger":
+        """A deep copy (used by dry-run planners)."""
+        clone = PairCountLedger(self.nodes)
+        for (node_a, node_b), count in self.nonzero_pairs().items():
+            clone.add(node_a, node_b, count)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PairCountLedger(nodes={len(self._counts)}, pairs={len(self.nonzero_pairs())}, "
+            f"total={self.total_pairs()})"
+        )

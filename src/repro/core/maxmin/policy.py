@@ -1,0 +1,144 @@
+"""Swap-candidate selection policies.
+
+Section 4 of the paper specifies one tie-breaking rule: among *preferable*
+swap candidates, perform the one whose recipient pair currently has the
+smallest count.  Section 6 sketches refinements (e.g. discouraging a
+repeater far from both endpoints from swapping for them).  Each rule is a
+:class:`BalancingPolicy`, so the ablation experiments can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.topology import EdgeKey, Topology, edge_key
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class SwapCandidate:
+    """A preferable swap ``left <- repeater -> right`` under consideration.
+
+    Attributes
+    ----------
+    repeater:
+        The node that would perform the swap (``x`` in the paper's notation).
+    left, right:
+        The two entanglement partners whose pairs would be consumed
+        (``y`` and ``y'``).
+    recipient_count:
+        The believed current count ``C_left(right)`` of the pair the swap
+        would create.
+    left_count, right_count:
+        The repeater's own counts ``C_x(left)`` and ``C_x(right)``.
+    """
+
+    repeater: NodeId
+    left: NodeId
+    right: NodeId
+    recipient_count: int
+    left_count: int
+    right_count: int
+
+    @property
+    def produced_pair(self) -> EdgeKey:
+        """The pair the swap would create."""
+        return edge_key(self.left, self.right)
+
+    def sort_key(self) -> Tuple:
+        """Deterministic total order used for reproducible tie-breaking."""
+        return (self.recipient_count, repr(self.produced_pair), repr(self.repeater))
+
+
+class BalancingPolicy(abc.ABC):
+    """Chooses which preferable candidate (if any) a node executes."""
+
+    @abc.abstractmethod
+    def choose(
+        self, candidates: List[SwapCandidate], rng: np.random.Generator
+    ) -> Optional[SwapCandidate]:
+        """Pick one candidate from a non-empty list (or ``None`` to skip the turn)."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class MinRecipientCountPolicy(BalancingPolicy):
+    """The paper's rule: perform the preferable swap with minimal ``C_y(y')``.
+
+    Ties are broken deterministically (by the produced pair's repr) so runs
+    are reproducible; set ``randomize_ties=True`` to break ties uniformly at
+    random instead.
+    """
+
+    def __init__(self, randomize_ties: bool = False):
+        self.randomize_ties = randomize_ties
+
+    def choose(
+        self, candidates: List[SwapCandidate], rng: np.random.Generator
+    ) -> Optional[SwapCandidate]:
+        if not candidates:
+            return None
+        if not self.randomize_ties:
+            return min(candidates, key=lambda candidate: candidate.sort_key())
+        minimum = min(candidate.recipient_count for candidate in candidates)
+        tied = [candidate for candidate in candidates if candidate.recipient_count == minimum]
+        return tied[int(rng.integers(0, len(tied)))]
+
+
+class RandomPreferablePolicy(BalancingPolicy):
+    """Uniformly random choice among preferable candidates (ablation baseline)."""
+
+    def choose(
+        self, candidates: List[SwapCandidate], rng: np.random.Generator
+    ) -> Optional[SwapCandidate]:
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(0, len(candidates)))]
+
+
+class DistanceWeightedPolicy(BalancingPolicy):
+    """Prefer swaps whose repeater lies on (or near) a shortest generation path.
+
+    Implements the Section 6 refinement: a repeater far from both endpoints
+    should be reluctant to swap for them.  The *detour* of a candidate is
+    ``dist(left, repeater) + dist(repeater, right) - dist(left, right)``
+    measured on the generation graph; candidates are ranked by
+    ``(detour, recipient_count)`` and candidates whose detour exceeds
+    ``max_detour`` are refused outright.
+    """
+
+    def __init__(self, topology: Topology, max_detour: Optional[int] = None):
+        self.topology = topology
+        self.max_detour = max_detour
+        self._distances = topology.all_pairs_shortest_path_lengths()
+
+    def _distance(self, node_a: NodeId, node_b: NodeId) -> int:
+        if node_a == node_b:
+            return 0
+        return self._distances.get(edge_key(node_a, node_b), 10**9)
+
+    def detour(self, candidate: SwapCandidate) -> int:
+        """How far off the left-right shortest path the repeater sits."""
+        return (
+            self._distance(candidate.left, candidate.repeater)
+            + self._distance(candidate.repeater, candidate.right)
+            - self._distance(candidate.left, candidate.right)
+        )
+
+    def choose(
+        self, candidates: List[SwapCandidate], rng: np.random.Generator
+    ) -> Optional[SwapCandidate]:
+        if not candidates:
+            return None
+        eligible = candidates
+        if self.max_detour is not None:
+            eligible = [c for c in candidates if self.detour(c) <= self.max_detour]
+            if not eligible:
+                return None
+        return min(eligible, key=lambda c: (self.detour(c),) + c.sort_key())

@@ -1,0 +1,51 @@
+"""Experiment harness.
+
+One module per experiment of the per-experiment index in DESIGN.md:
+
+* :mod:`repro.experiments.figure4` -- swap overhead vs distillation
+  overhead ``D`` (paper Figure 4),
+* :mod:`repro.experiments.figure5` -- swap overhead vs network size
+  ``|N|`` (paper Figure 5),
+* :mod:`repro.experiments.lp_validation` -- the Section 3 LP objectives,
+* :mod:`repro.experiments.comparison` -- path-oblivious vs planned-path
+  baselines,
+* :mod:`repro.experiments.ablations` -- design-choice ablations,
+* :mod:`repro.experiments.classical_overhead` -- control-plane cost.
+
+Every experiment exposes a ``run_*`` function returning a result object with
+``series()`` / ``rows()`` accessors and a ``format_report()`` renderer; the
+CLI (:mod:`repro.cli`) and the benchmark suite are thin wrappers over these.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    TrialOutcome,
+    full_mode_enabled,
+)
+from repro.experiments.runner import run_many, run_trial
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.lp_validation import LPValidationResult, run_lp_validation
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.ablations import AblationResult, run_ablations
+from repro.experiments.classical_overhead import ClassicalOverheadResult, run_classical_overhead
+
+__all__ = [
+    "AblationResult",
+    "ClassicalOverheadResult",
+    "ComparisonResult",
+    "ExperimentConfig",
+    "Figure4Result",
+    "Figure5Result",
+    "LPValidationResult",
+    "TrialOutcome",
+    "full_mode_enabled",
+    "run_ablations",
+    "run_classical_overhead",
+    "run_comparison",
+    "run_figure4",
+    "run_figure5",
+    "run_lp_validation",
+    "run_many",
+    "run_trial",
+]

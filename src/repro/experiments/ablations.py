@@ -1,0 +1,168 @@
+"""Experiment E5: ablations over the design choices DESIGN.md calls out.
+
+Each ablation varies exactly one knob of the path-oblivious protocol on a
+fixed workload:
+
+* ``swap-rate``      -- the per-node swaps-per-round rate (the paper claims
+  the results are insensitive to it),
+* ``policy``         -- candidate selection rule (paper's min-recipient vs
+  random vs the distance-weighted refinement of §6),
+* ``knowledge``      -- global counts vs gossip with various fanouts (§6),
+* ``hybrid``         -- pure balancing vs balancing + targeted fallback (§6),
+* ``density``        -- extra generation edges beyond bare connectivity on
+  the random grid (the "well-provisioned network" argument of §2),
+* ``recurrence``     -- exact vs paper-literal overhead denominator (a
+  measurement ablation: same runs, different metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.experiments.config import ExperimentConfig, TrialOutcome
+from repro.experiments.runner import run_trial
+
+#: The ablation axes this experiment knows how to run.
+ABLATION_AXES: Tuple[str, ...] = (
+    "swap-rate",
+    "policy",
+    "knowledge",
+    "hybrid",
+    "density",
+    "recurrence",
+)
+
+
+@dataclass
+class AblationRow:
+    """One ablation variant's headline numbers."""
+
+    axis: str
+    variant: str
+    overhead_exact: float
+    overhead_paper: float
+    swaps: int
+    rounds: int
+    satisfied: str
+    mean_wait: float
+
+
+@dataclass
+class AblationResult:
+    """All ablation rows plus the raw outcomes."""
+
+    base_config: ExperimentConfig
+    rows: List[AblationRow] = field(default_factory=list)
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def rows_for(self, axis: str) -> List[AblationRow]:
+        return [row for row in self.rows if row.axis == axis]
+
+    def format_report(self) -> str:
+        headers = ("axis", "variant", "overhead", "overhead(paper)", "swaps", "rounds", "satisfied", "mean wait")
+        table_rows = [
+            (
+                row.axis,
+                row.variant,
+                row.overhead_exact,
+                row.overhead_paper,
+                row.swaps,
+                row.rounds,
+                row.satisfied,
+                row.mean_wait,
+            )
+            for row in self.rows
+        ]
+        title = (
+            f"E5: ablations ({self.base_config.topology}, |N|={self.base_config.n_nodes}, "
+            f"D={self.base_config.distillation:g})"
+        )
+        return format_table(headers, table_rows, title=title)
+
+
+def _record(result: AblationResult, axis: str, variant: str, outcome: TrialOutcome) -> None:
+    result.outcomes.append(outcome)
+    result.rows.append(
+        AblationRow(
+            axis=axis,
+            variant=variant,
+            overhead_exact=outcome.overhead_exact,
+            overhead_paper=outcome.overhead_paper,
+            swaps=outcome.swaps_performed,
+            rounds=outcome.rounds,
+            satisfied=f"{outcome.requests_satisfied}/{outcome.requests_total}",
+            mean_wait=outcome.mean_waiting_rounds,
+        )
+    )
+
+
+def run_ablations(
+    axes: Sequence[str] = ABLATION_AXES,
+    topology: str = "random-grid",
+    n_nodes: int = 16,
+    distillation: float = 2.0,
+    n_requests: int = 30,
+    n_consumer_pairs: int = 15,
+    seed: int = 5,
+) -> AblationResult:
+    """Run the requested ablation axes on a shared base workload."""
+    unknown = [axis for axis in axes if axis not in ABLATION_AXES]
+    if unknown:
+        raise ValueError(f"unknown ablation axes {unknown}; choose from {ABLATION_AXES}")
+    base = ExperimentConfig(
+        topology=topology,
+        n_nodes=n_nodes,
+        distillation=distillation,
+        n_requests=n_requests,
+        n_consumer_pairs=n_consumer_pairs,
+        seed=seed,
+    )
+    result = AblationResult(base_config=base)
+
+    if "swap-rate" in axes:
+        for rate in (1, 2, 4):
+            outcome = run_trial(base.with_(swaps_per_node_per_round=rate))
+            _record(result, "swap-rate", f"{rate}/node/round", outcome)
+
+    if "policy" in axes:
+        for policy in ("min-recipient", "random", "distance-weighted"):
+            config = base.with_(policy=policy)
+            if policy == "distance-weighted":
+                config = config.with_(policy_max_detour=2)
+            _record(result, "policy", policy, run_trial(config))
+
+    if "knowledge" in axes:
+        _record(result, "knowledge", "global", run_trial(base))
+        for fanout in (2, 4):
+            outcome = run_trial(base.with_(knowledge="gossip", gossip_fanout=fanout))
+            _record(result, "knowledge", f"gossip-fanout{fanout}", outcome)
+
+    if "hybrid" in axes:
+        _record(result, "hybrid", "pure-oblivious", run_trial(base))
+        _record(result, "hybrid", "with-fallback", run_trial(base.with_(use_hybrid_fallback=True)))
+
+    if "density" in axes:
+        for fraction in (0.0, 0.25, 0.5):
+            outcome = run_trial(base.with_(topology="random-grid", extra_edge_fraction=fraction))
+            _record(result, "density", f"extra-edges={fraction:g}", outcome)
+
+    if "recurrence" in axes:
+        outcome = run_trial(base)
+        _record(result, "recurrence", "exact-denominator", outcome)
+        # Same run, re-scored under the paper-literal denominator.
+        result.rows.append(
+            AblationRow(
+                axis="recurrence",
+                variant="paper-denominator",
+                overhead_exact=outcome.overhead_paper,
+                overhead_paper=outcome.overhead_paper,
+                swaps=outcome.swaps_performed,
+                rounds=outcome.rounds,
+                satisfied=f"{outcome.requests_satisfied}/{outcome.requests_total}",
+                mean_wait=outcome.mean_waiting_rounds,
+            )
+        )
+
+    return result

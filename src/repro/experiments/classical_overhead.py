@@ -1,0 +1,137 @@
+"""Experiment E6: classical control-plane overhead.
+
+Sections 2 and 6 of the paper flag classical signalling as the path-oblivious
+approach's main cost.  This experiment drives a balancing workload while two
+dissemination strategies account their classical traffic side by side:
+
+* full flooding of every node's count vector every round (the paper's base
+  knowledge assumption), and
+* the BitTorrent-like choke/unchoke gossip sketched in Section 6, at several
+  fanouts.
+
+Reported per strategy: total messages, total bits, bits per round, and for
+gossip the knowledge quality it buys (coverage and staleness error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.classical.control_plane import FloodingControlPlane
+from repro.classical.gossip import ChokeUnchokeGossip
+from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.network.demand import RequestSequence, select_consumer_pairs
+from repro.network.generation import DeterministicGeneration
+from repro.network.topologies import topology_from_name
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class ClassicalOverheadRow:
+    """Control-plane cost (and knowledge quality) of one dissemination strategy."""
+
+    strategy: str
+    rounds: int
+    messages: int
+    bits: int
+    bits_per_round: float
+    mean_coverage: float
+    mean_staleness: float
+
+
+@dataclass
+class ClassicalOverheadResult:
+    topology: str
+    n_nodes: int
+    rows: List[ClassicalOverheadRow] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        headers = ("strategy", "rounds", "messages", "bits", "bits/round", "coverage", "staleness")
+        table_rows = [
+            (
+                row.strategy,
+                row.rounds,
+                row.messages,
+                row.bits,
+                row.bits_per_round,
+                row.mean_coverage,
+                row.mean_staleness,
+            )
+            for row in self.rows
+        ]
+        title = f"E6: classical control-plane overhead ({self.topology}, |N|={self.n_nodes})"
+        return format_table(headers, table_rows, title=title)
+
+
+def run_classical_overhead(
+    topology_name: str = "random-grid",
+    n_nodes: int = 16,
+    rounds: int = 50,
+    gossip_fanouts: Sequence[int] = (2, 4),
+    seed: int = 11,
+) -> ClassicalOverheadResult:
+    """Run a balancing workload and account dissemination costs for each strategy."""
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    streams = RandomStreams(seed)
+    topology = topology_from_name(topology_name, n_nodes, rng=streams.get("topology"))
+    generation = DeterministicGeneration(topology)
+
+    # One shared balancing workload: generation feeds the ledger, the balancer
+    # spreads pairs; the control planes observe the same evolving state.
+    ledger = PairCountLedger(topology.nodes)
+    balancer = MaxMinBalancer(ledger, overheads=1.0, rng=streams.get("balancer"), keep_records=False)
+    flooding = FloodingControlPlane(topology, ledger)
+    gossips = {
+        fanout: ChokeUnchokeGossip(
+            topology,
+            ledger,
+            unchoked_slots=fanout,
+            rng=streams.get(f"gossip-{fanout}"),
+        )
+        for fanout in gossip_fanouts
+    }
+
+    for round_index in range(rounds):
+        for edge, count in generation.pairs_for_round(round_index, streams.get("generation")).items():
+            ledger.add(edge[0], edge[1], count)
+        balancer.run_round(round_index)
+        flooding.run_round(round_index)
+        for gossip in gossips.values():
+            gossip.run_round(round_index)
+
+    result = ClassicalOverheadResult(topology=topology.name, n_nodes=n_nodes)
+    summary = flooding.summary()
+    result.rows.append(
+        ClassicalOverheadRow(
+            strategy="flooding",
+            rounds=int(summary["rounds"]),
+            messages=int(summary["messages"]),
+            bits=int(summary["bits"]),
+            bits_per_round=summary["bits_per_round"],
+            mean_coverage=1.0,
+            mean_staleness=0.0,
+        )
+    )
+    for fanout, gossip in gossips.items():
+        summary = gossip.summary()
+        coverages = [gossip.coverage(node) for node in topology.nodes]
+        staleness = [gossip.staleness_error(node) for node in topology.nodes]
+        staleness = [value for value in staleness if value == value]  # drop NaNs
+        result.rows.append(
+            ClassicalOverheadRow(
+                strategy=f"gossip-fanout{fanout}",
+                rounds=int(summary["rounds"]),
+                messages=int(summary["messages"]),
+                bits=int(summary["bits"]),
+                bits_per_round=summary["bits_per_round"],
+                mean_coverage=float(np.mean(coverages)) if coverages else 0.0,
+                mean_staleness=float(np.mean(staleness)) if staleness else 0.0,
+            )
+        )
+    return result

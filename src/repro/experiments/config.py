@@ -1,0 +1,130 @@
+"""Experiment configuration.
+
+The paper's Section 5 settings are the defaults: 35 consumer pairs drawn
+uniformly from all node pairs, unit generation rate on every generation
+edge, every node swapping at the same rate, and an ordered consumption
+request sequence.  Everything is overridable so the ablations can move one
+knob at a time.
+
+``REPRO_FULL=1`` in the environment switches the sweeps from the quick
+defaults (suitable for CI and the benchmark suite) to the full
+paper-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.topology import EdgeKey
+
+
+def full_mode_enabled() -> bool:
+    """Whether the full (slow) experiment sweeps were requested via ``REPRO_FULL=1``."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One simulation trial's full parameterisation.
+
+    Attributes mirror Section 5 of the paper; see DESIGN.md for the mapping.
+    """
+
+    topology: str = "cycle"
+    n_nodes: int = 25
+    distillation: float = 1.0
+    n_consumer_pairs: int = 35
+    n_requests: int = 50
+    seed: int = 0
+    protocol: str = "path-oblivious"
+    generation_process: str = "deterministic"
+    swaps_per_node_per_round: int = 1
+    consumptions_per_round: Optional[int] = None
+    max_rounds: int = 200_000
+    use_hybrid_fallback: bool = False
+    knowledge: str = "global"
+    gossip_fanout: int = 3
+    policy: str = "min-recipient"
+    policy_max_detour: Optional[int] = None
+    qec_overhead: float = 1.0
+    loss_factor: float = 1.0
+    window: int = 4
+    extra_edge_fraction: float = 0.0
+    overhead_variant: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 3:
+            raise ValueError(f"n_nodes must be at least 3, got {self.n_nodes}")
+        if self.distillation < 1.0:
+            raise ValueError(f"distillation must be >= 1, got {self.distillation}")
+        if self.n_consumer_pairs <= 0:
+            raise ValueError(f"n_consumer_pairs must be positive, got {self.n_consumer_pairs}")
+        if self.n_requests <= 0:
+            raise ValueError(f"n_requests must be positive, got {self.n_requests}")
+        if self.max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
+        if not 0.0 < self.loss_factor <= 1.0:
+            raise ValueError(f"loss_factor must be in (0, 1], got {self.loss_factor}")
+        if self.qec_overhead < 1.0:
+            raise ValueError(f"qec_overhead must be >= 1, got {self.qec_overhead}")
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+    def label(self) -> str:
+        """Short human-readable label for reports."""
+        return (
+            f"{self.protocol}/{self.topology}-{self.n_nodes}"
+            f"/D={self.distillation:g}/seed={self.seed}"
+        )
+
+
+@dataclass
+class TrialOutcome:
+    """Everything measured from one simulation trial."""
+
+    config: ExperimentConfig
+    topology_name: str
+    rounds: int
+    swaps_performed: int
+    requests_total: int
+    requests_satisfied: int
+    pairs_generated: int
+    pairs_consumed: int
+    pairs_remaining: int
+    overhead_exact: float
+    overhead_paper: float
+    optimal_swaps_exact: float
+    optimal_swaps_paper: float
+    mean_waiting_rounds: float
+    starvation_ratio: float
+    classical_messages: int
+    classical_entries: int
+    swaps_by_node: Dict = field(default_factory=dict)
+    consumption_by_pair: Dict[EdgeKey, int] = field(default_factory=dict)
+
+    @property
+    def overhead(self) -> float:
+        """The overhead under the configured denominator variant."""
+        if self.config.overhead_variant == "paper":
+            return self.overhead_paper
+        return self.overhead_exact
+
+    @property
+    def all_satisfied(self) -> bool:
+        return self.requests_satisfied >= self.requests_total
+
+    def summary_row(self) -> Tuple:
+        """The row used by generic report tables."""
+        return (
+            self.config.protocol,
+            self.topology_name,
+            self.config.distillation,
+            self.rounds,
+            self.swaps_performed,
+            f"{self.requests_satisfied}/{self.requests_total}",
+            self.overhead_exact,
+        )

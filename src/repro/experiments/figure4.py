@@ -1,0 +1,129 @@
+"""Figure 4: swap overhead as the distillation overhead ``D`` varies.
+
+Paper setting: ``|N| = 25``, three generation-graph families (cycle, random
+connected wraparound grid, full wraparound grid), 35 consumer pairs, unit
+generation rates, ordered consumption requests; the y axis is the swap
+overhead of the max-min balancing protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import render_series
+from repro.analysis.statistics import mean_confidence_interval
+from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
+from repro.experiments.runner import run_trial
+
+#: The topology families plotted in the figure.
+FIGURE4_TOPOLOGIES: Tuple[str, ...] = ("cycle", "random-grid", "grid")
+
+#: Quick sweep used by CI / the benchmark suite.
+QUICK_DISTILLATION_VALUES: Tuple[float, ...] = (1.0, 2.0, 3.0)
+#: Full sweep (REPRO_FULL=1).
+FULL_DISTILLATION_VALUES: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0)
+
+
+@dataclass
+class Figure4Result:
+    """Swap overhead per (topology, D), with the per-trial outcomes retained."""
+
+    n_nodes: int
+    distillation_values: Tuple[float, ...]
+    topologies: Tuple[str, ...]
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def series(self, variant: str = "exact") -> Dict[str, Dict[float, float]]:
+        """``topology -> {D -> mean overhead}`` (the figure's lines)."""
+        table: Dict[str, Dict[float, List[float]]] = {name: {} for name in self.topologies}
+        for outcome in self.outcomes:
+            value = outcome.overhead_exact if variant == "exact" else outcome.overhead_paper
+            table[outcome.config.topology].setdefault(outcome.config.distillation, []).append(value)
+        return {
+            name: {d: mean_confidence_interval(values)[0] for d, values in points.items()}
+            for name, points in table.items()
+        }
+
+    def rows(self) -> List[Tuple]:
+        """One row per (topology, D): mean overhead under both denominators."""
+        rows: List[Tuple] = []
+        exact = self.series("exact")
+        paper = self.series("paper")
+        for topology in self.topologies:
+            for distillation in self.distillation_values:
+                if distillation in exact.get(topology, {}):
+                    rows.append(
+                        (
+                            topology,
+                            distillation,
+                            exact[topology][distillation],
+                            paper[topology][distillation],
+                        )
+                    )
+        return rows
+
+    def format_report(self) -> str:
+        series = self.series("exact")
+        return render_series(
+            "D",
+            series,
+            title=f"Figure 4: swap overhead vs distillation overhead (|N|={self.n_nodes})",
+        )
+
+
+def figure4_configs(
+    n_nodes: int = 25,
+    distillation_values: Optional[Sequence[float]] = None,
+    topologies: Sequence[str] = FIGURE4_TOPOLOGIES,
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 50,
+    n_consumer_pairs: int = 35,
+) -> List[ExperimentConfig]:
+    """The config grid behind Figure 4."""
+    if distillation_values is None:
+        distillation_values = (
+            FULL_DISTILLATION_VALUES if full_mode_enabled() else QUICK_DISTILLATION_VALUES
+        )
+    configs: List[ExperimentConfig] = []
+    for topology in topologies:
+        for distillation in distillation_values:
+            for seed in seeds:
+                configs.append(
+                    ExperimentConfig(
+                        topology=topology,
+                        n_nodes=n_nodes,
+                        distillation=float(distillation),
+                        n_consumer_pairs=n_consumer_pairs,
+                        n_requests=n_requests,
+                        seed=seed,
+                    )
+                )
+    return configs
+
+
+def run_figure4(
+    n_nodes: int = 25,
+    distillation_values: Optional[Sequence[float]] = None,
+    topologies: Sequence[str] = FIGURE4_TOPOLOGIES,
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 50,
+    n_consumer_pairs: int = 35,
+) -> Figure4Result:
+    """Run the Figure 4 sweep and return the collected series."""
+    configs = figure4_configs(
+        n_nodes=n_nodes,
+        distillation_values=distillation_values,
+        topologies=topologies,
+        seeds=seeds,
+        n_requests=n_requests,
+        n_consumer_pairs=n_consumer_pairs,
+    )
+    outcomes = [run_trial(config) for config in configs]
+    distillations = tuple(sorted({config.distillation for config in configs}))
+    return Figure4Result(
+        n_nodes=n_nodes,
+        distillation_values=distillations,
+        topologies=tuple(topologies),
+        outcomes=outcomes,
+    )

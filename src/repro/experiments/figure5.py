@@ -1,0 +1,114 @@
+"""Figure 5: swap overhead as the network size ``|N|`` varies.
+
+Paper setting: ``D = 1``, the same three topology families as Figure 4, and
+the swap overhead of the max-min balancing protocol on the y axis.  Network
+sizes are perfect squares so the grid topologies are defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import render_series
+from repro.analysis.statistics import mean_confidence_interval
+from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
+from repro.experiments.figure4 import FIGURE4_TOPOLOGIES
+from repro.experiments.runner import run_trial
+
+#: Quick sweep (CI / benchmarks) and full sweep (REPRO_FULL=1) of |N|.
+QUICK_NETWORK_SIZES: Tuple[int, ...] = (9, 16, 25)
+FULL_NETWORK_SIZES: Tuple[int, ...] = (9, 16, 25, 36, 49)
+
+
+@dataclass
+class Figure5Result:
+    """Swap overhead per (topology, |N|)."""
+
+    distillation: float
+    network_sizes: Tuple[int, ...]
+    topologies: Tuple[str, ...]
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def series(self, variant: str = "exact") -> Dict[str, Dict[int, float]]:
+        """``topology -> {|N| -> mean overhead}``."""
+        table: Dict[str, Dict[int, List[float]]] = {name: {} for name in self.topologies}
+        for outcome in self.outcomes:
+            value = outcome.overhead_exact if variant == "exact" else outcome.overhead_paper
+            table[outcome.config.topology].setdefault(outcome.config.n_nodes, []).append(value)
+        return {
+            name: {n: mean_confidence_interval(values)[0] for n, values in points.items()}
+            for name, points in table.items()
+        }
+
+    def rows(self) -> List[Tuple]:
+        rows: List[Tuple] = []
+        exact = self.series("exact")
+        paper = self.series("paper")
+        for topology in self.topologies:
+            for size in self.network_sizes:
+                if size in exact.get(topology, {}):
+                    rows.append((topology, size, exact[topology][size], paper[topology][size]))
+        return rows
+
+    def format_report(self) -> str:
+        return render_series(
+            "|N|",
+            self.series("exact"),
+            title=f"Figure 5: swap overhead vs network size (D={self.distillation:g})",
+        )
+
+
+def figure5_configs(
+    distillation: float = 1.0,
+    network_sizes: Optional[Sequence[int]] = None,
+    topologies: Sequence[str] = FIGURE4_TOPOLOGIES,
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 50,
+    n_consumer_pairs: int = 35,
+) -> List[ExperimentConfig]:
+    """The config grid behind Figure 5."""
+    if network_sizes is None:
+        network_sizes = FULL_NETWORK_SIZES if full_mode_enabled() else QUICK_NETWORK_SIZES
+    configs: List[ExperimentConfig] = []
+    for topology in topologies:
+        for n_nodes in network_sizes:
+            for seed in seeds:
+                configs.append(
+                    ExperimentConfig(
+                        topology=topology,
+                        n_nodes=int(n_nodes),
+                        distillation=float(distillation),
+                        n_consumer_pairs=n_consumer_pairs,
+                        n_requests=n_requests,
+                        seed=seed,
+                    )
+                )
+    return configs
+
+
+def run_figure5(
+    distillation: float = 1.0,
+    network_sizes: Optional[Sequence[int]] = None,
+    topologies: Sequence[str] = FIGURE4_TOPOLOGIES,
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 50,
+    n_consumer_pairs: int = 35,
+) -> Figure5Result:
+    """Run the Figure 5 sweep and return the collected series."""
+    configs = figure5_configs(
+        distillation=distillation,
+        network_sizes=network_sizes,
+        topologies=topologies,
+        seeds=seeds,
+        n_requests=n_requests,
+        n_consumer_pairs=n_consumer_pairs,
+    )
+    outcomes = [run_trial(config) for config in configs]
+    sizes = tuple(sorted({config.n_nodes for config in configs}))
+    return Figure5Result(
+        distillation=distillation,
+        network_sizes=sizes,
+        topologies=tuple(topologies),
+        outcomes=outcomes,
+    )

@@ -1,0 +1,159 @@
+"""Building and running individual simulation trials from a config."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.analysis.overhead import swap_overhead_from_result
+from repro.analysis.starvation import starvation_report
+from repro.core.lp.extensions import PairOverheads
+from repro.core.maxmin.knowledge import GlobalKnowledge, GossipKnowledge, KnowledgeModel
+from repro.core.maxmin.policy import (
+    BalancingPolicy,
+    DistanceWeightedPolicy,
+    MinRecipientCountPolicy,
+    RandomPreferablePolicy,
+)
+from repro.experiments.config import ExperimentConfig, TrialOutcome
+from repro.network.demand import RequestSequence, select_consumer_pairs
+from repro.network.generation import make_generation_process
+from repro.network.topologies import topology_from_name
+from repro.network.topology import Topology
+from repro.protocols.base import SwappingProtocol
+from repro.protocols.oblivious import PathObliviousProtocol
+from repro.protocols.planned import (
+    ConnectionOrientedProtocol,
+    ConnectionlessProtocol,
+    OnDemandProtocol,
+)
+from repro.sim.rng import RandomStreams
+
+PROTOCOL_NAMES = (
+    "path-oblivious",
+    "planned-connection-oriented",
+    "planned-connectionless",
+    "planned-on-demand",
+)
+
+
+def build_topology(config: ExperimentConfig, streams: RandomStreams) -> Topology:
+    """Construct the trial's generation graph from its config."""
+    kwargs = {}
+    if config.topology == "random-grid" and config.extra_edge_fraction > 0:
+        kwargs["extra_edge_fraction"] = config.extra_edge_fraction
+    topology = topology_from_name(
+        config.topology, config.n_nodes, rng=streams.get("topology"), **kwargs
+    )
+    if config.qec_overhead > 1.0:
+        topology = topology.scale_generation_rates(1.0 / config.qec_overhead)
+    return topology
+
+
+def build_requests(
+    config: ExperimentConfig, topology: Topology, streams: RandomStreams
+) -> RequestSequence:
+    """Draw the consumer pairs and the ordered request sequence (paper, §5)."""
+    consumer_pairs = select_consumer_pairs(
+        topology, config.n_consumer_pairs, streams.get("consumers")
+    )
+    return RequestSequence.generate(consumer_pairs, config.n_requests, streams.get("requests"))
+
+
+def _build_policy(config: ExperimentConfig, topology: Topology) -> Optional[BalancingPolicy]:
+    if config.policy == "min-recipient":
+        return MinRecipientCountPolicy()
+    if config.policy == "random":
+        return RandomPreferablePolicy()
+    if config.policy == "distance-weighted":
+        return DistanceWeightedPolicy(topology, max_detour=config.policy_max_detour)
+    raise ValueError(
+        f"unknown policy {config.policy!r}; choose min-recipient, random or distance-weighted"
+    )
+
+
+def build_protocol(
+    config: ExperimentConfig, topology: Topology, requests: RequestSequence, streams: RandomStreams
+) -> SwappingProtocol:
+    """Instantiate the protocol named by the config."""
+    overheads = PairOverheads.uniform(
+        distillation=config.distillation, loss=config.loss_factor
+    )
+    generation = make_generation_process(config.generation_process, topology)
+    common = dict(
+        topology=topology,
+        requests=requests,
+        overheads=overheads,
+        generation=generation,
+        streams=streams,
+        max_rounds=config.max_rounds,
+        consumptions_per_round=config.consumptions_per_round,
+    )
+    if config.protocol == "path-oblivious":
+        protocol = PathObliviousProtocol(
+            policy=None,  # placeholder, replaced below once the ledger exists
+            swaps_per_node_per_round=config.swaps_per_node_per_round,
+            use_hybrid_fallback=config.use_hybrid_fallback,
+            **common,
+        )
+        protocol.balancer.policy = _build_policy(config, topology) or protocol.balancer.policy
+        if config.knowledge == "gossip":
+            protocol.balancer.knowledge = GossipKnowledge(
+                protocol.ledger, fanout=config.gossip_fanout
+            )
+        elif config.knowledge != "global":
+            raise ValueError(f"unknown knowledge model {config.knowledge!r}")
+        return protocol
+    if config.protocol == "planned-connection-oriented":
+        return ConnectionOrientedProtocol(**common)
+    if config.protocol == "planned-connectionless":
+        return ConnectionlessProtocol(window=config.window, **common)
+    if config.protocol == "planned-on-demand":
+        return OnDemandProtocol(**common)
+    raise ValueError(f"unknown protocol {config.protocol!r}; choose from {PROTOCOL_NAMES}")
+
+
+def run_trial(config: ExperimentConfig) -> TrialOutcome:
+    """Run one full trial and reduce it to a :class:`TrialOutcome`."""
+    streams = RandomStreams(config.seed)
+    topology = build_topology(config, streams)
+    requests = build_requests(config, topology, streams)
+    protocol = build_protocol(config, topology, requests, streams)
+    result = protocol.run()
+
+    exact = swap_overhead_from_result(
+        topology, result, distillation=config.distillation, variant="exact"
+    )
+    paper = swap_overhead_from_result(
+        topology, result, distillation=config.distillation, variant="paper"
+    )
+    starvation = starvation_report(topology, result)
+    classical = result.classical_overhead or {}
+
+    return TrialOutcome(
+        config=config,
+        topology_name=topology.name,
+        rounds=result.rounds,
+        swaps_performed=result.swaps_performed,
+        requests_total=result.requests_total,
+        requests_satisfied=result.requests_satisfied,
+        pairs_generated=result.pairs_generated,
+        pairs_consumed=result.pairs_consumed,
+        pairs_remaining=result.pairs_remaining,
+        overhead_exact=exact.overhead,
+        overhead_paper=paper.overhead,
+        optimal_swaps_exact=exact.optimal_swaps,
+        optimal_swaps_paper=paper.optimal_swaps,
+        mean_waiting_rounds=result.mean_waiting_rounds(),
+        starvation_ratio=starvation.starvation_ratio,
+        classical_messages=int(classical.get("messages", 0)),
+        classical_entries=int(classical.get("entries", 0)),
+        swaps_by_node=result.swaps_by_node,
+        consumption_by_pair=protocol.requests.consumption_counts(),
+    )
+
+
+def run_many(configs: Iterable[ExperimentConfig]) -> List[TrialOutcome]:
+    """Run every config in sequence (deterministic order, independent seeds)."""
+    return [run_trial(config) for config in configs]

@@ -1,0 +1,82 @@
+"""Network substrate.
+
+Everything about the *classical structure* of the quantum network lives
+here: which nodes exist, which node pairs can generate elementary Bell
+pairs (the paper's *generation graph* ``G``), at what rates, which node
+pairs want to consume pairs (the demand), and how to compute paths over
+those graphs for the planned-path baselines.
+"""
+
+from repro.network.demand import (
+    ConsumptionRequest,
+    DemandMatrix,
+    RequestSequence,
+    gravity_demand,
+    hotspot_demand,
+    select_consumer_pairs,
+    uniform_demand,
+)
+from repro.network.generation import (
+    BernoulliGeneration,
+    DeterministicGeneration,
+    GenerationProcess,
+    PoissonGeneration,
+)
+from repro.network.link import GenerationLink
+from repro.network.node import QuantumNode
+from repro.network.routing import (
+    all_pairs_shortest_path_lengths,
+    k_shortest_paths,
+    path_edges,
+    path_hops,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.network.topology import Topology
+from repro.network.topologies import (
+    complete_topology,
+    cycle_topology,
+    dumbbell_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    random_connected_grid_topology,
+    random_tree_topology,
+    star_topology,
+    topology_from_name,
+    waxman_topology,
+)
+
+__all__ = [
+    "BernoulliGeneration",
+    "ConsumptionRequest",
+    "DemandMatrix",
+    "DeterministicGeneration",
+    "GenerationLink",
+    "GenerationProcess",
+    "PoissonGeneration",
+    "QuantumNode",
+    "RequestSequence",
+    "Topology",
+    "all_pairs_shortest_path_lengths",
+    "complete_topology",
+    "cycle_topology",
+    "dumbbell_topology",
+    "erdos_renyi_topology",
+    "gravity_demand",
+    "grid_topology",
+    "hotspot_demand",
+    "k_shortest_paths",
+    "line_topology",
+    "path_edges",
+    "path_hops",
+    "random_connected_grid_topology",
+    "random_tree_topology",
+    "select_consumer_pairs",
+    "shortest_path",
+    "shortest_path_length",
+    "star_topology",
+    "topology_from_name",
+    "uniform_demand",
+    "waxman_topology",
+]

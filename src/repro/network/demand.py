@@ -1,0 +1,302 @@
+"""Consumption demand models.
+
+The paper's workload (§5): 35 consumer pairs are drawn from the
+``|N| choose 2`` candidate pairs, and a sequence of consumption requests over
+those pairs "must be satisfied in the order of the sequence" -- the ordering
+constraint exists precisely to prevent the protocol from cherry-picking
+easy-to-satisfy requests.
+
+This module provides
+
+* :func:`select_consumer_pairs` -- the paper's consumer-pair draw,
+* :class:`RequestSequence` -- the ordered, head-of-line-blocking request
+  stream,
+* :class:`DemandMatrix` plus constructors (:func:`uniform_demand`,
+  :func:`gravity_demand`, :func:`hotspot_demand`) -- average consumption
+  rates ``c(x, y)`` for the LP formulation and steady-state analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.topology import EdgeKey, Topology, edge_key
+
+NodeId = Hashable
+
+
+# ---------------------------------------------------------------------- #
+# Consumer pairs and request sequences (simulation workload)
+# ---------------------------------------------------------------------- #
+def select_consumer_pairs(
+    topology: Topology,
+    n_pairs: int,
+    rng: np.random.Generator,
+    exclude_generation_edges: bool = False,
+) -> List[EdgeKey]:
+    """Draw ``n_pairs`` distinct consumer pairs uniformly from all node pairs.
+
+    Parameters
+    ----------
+    topology:
+        The generation graph; its node set defines the candidate pairs.
+    n_pairs:
+        How many distinct pairs to draw (35 in the paper).  When the
+        candidate set is smaller than ``n_pairs``, every candidate pair is
+        returned (a warning-free fallback needed for the smallest |N|
+        sweeps).
+    rng:
+        Seeded random stream.
+    exclude_generation_edges:
+        When ``True``, only pairs that are *not* generation edges are
+        candidates (every consumption then requires at least one swap);
+        used by ablations.
+    """
+    if n_pairs <= 0:
+        raise ValueError(f"n_pairs must be positive, got {n_pairs}")
+    candidates = list(topology.node_pairs())
+    if exclude_generation_edges:
+        candidates = [pair for pair in candidates if not topology.has_edge(*pair)]
+    if not candidates:
+        raise ValueError("no candidate consumer pairs available")
+    if n_pairs >= len(candidates):
+        return list(candidates)
+    indices = rng.choice(len(candidates), size=n_pairs, replace=False)
+    return [candidates[int(index)] for index in indices]
+
+
+@dataclass
+class ConsumptionRequest:
+    """One entry in the ordered request sequence."""
+
+    index: int
+    pair: EdgeKey
+    issued_round: Optional[int] = None
+    satisfied_round: Optional[int] = None
+
+    @property
+    def satisfied(self) -> bool:
+        return self.satisfied_round is not None
+
+    @property
+    def waiting_rounds(self) -> Optional[int]:
+        """How long the request waited, once satisfied."""
+        if self.satisfied_round is None or self.issued_round is None:
+            return None
+        return self.satisfied_round - self.issued_round
+
+
+class RequestSequence:
+    """The paper's ordered consumption-request stream.
+
+    Requests are served strictly in order (head-of-line blocking): request
+    ``k+1`` cannot be satisfied before request ``k``, which prevents the
+    protocol from being scored only on easy (nearby) pairs.
+    """
+
+    def __init__(self, requests: Sequence[ConsumptionRequest]):
+        self._requests = list(requests)
+        self._next_index = 0
+
+    @classmethod
+    def generate(
+        cls,
+        consumer_pairs: Sequence[EdgeKey],
+        n_requests: int,
+        rng: np.random.Generator,
+        weights: Optional[Sequence[float]] = None,
+    ) -> "RequestSequence":
+        """Sample ``n_requests`` requests over ``consumer_pairs``.
+
+        ``weights`` (optional, one per consumer pair) skews the draw; the
+        default is the paper's uniform choice among consumer pairs.
+        """
+        if not consumer_pairs:
+            raise ValueError("consumer_pairs must be non-empty")
+        if n_requests <= 0:
+            raise ValueError(f"n_requests must be positive, got {n_requests}")
+        if weights is not None:
+            if len(weights) != len(consumer_pairs):
+                raise ValueError("weights must have one entry per consumer pair")
+            total = float(sum(weights))
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            probabilities = [weight / total for weight in weights]
+        else:
+            probabilities = None
+        draws = rng.choice(len(consumer_pairs), size=n_requests, p=probabilities)
+        requests = [
+            ConsumptionRequest(index=i, pair=consumer_pairs[int(choice)])
+            for i, choice in enumerate(draws)
+        ]
+        return cls(requests)
+
+    @classmethod
+    def round_robin(cls, consumer_pairs: Sequence[EdgeKey], n_requests: int) -> "RequestSequence":
+        """A deterministic round-robin sequence (used by tests and examples)."""
+        if not consumer_pairs:
+            raise ValueError("consumer_pairs must be non-empty")
+        requests = [
+            ConsumptionRequest(index=i, pair=consumer_pairs[i % len(consumer_pairs)])
+            for i in range(n_requests)
+        ]
+        return cls(requests)
+
+    # ------------------------------------------------------------------ #
+    # Head-of-line interface used by the protocols
+    # ------------------------------------------------------------------ #
+    def head(self) -> Optional[ConsumptionRequest]:
+        """The next unsatisfied request, or ``None`` when all are done."""
+        if self._next_index >= len(self._requests):
+            return None
+        return self._requests[self._next_index]
+
+    def mark_head_satisfied(self, round_index: int) -> ConsumptionRequest:
+        """Mark the head request as satisfied during ``round_index`` and advance."""
+        head = self.head()
+        if head is None:
+            raise IndexError("all requests have already been satisfied")
+        head.satisfied_round = round_index
+        self._next_index += 1
+        return head
+
+    def note_head_issued(self, round_index: int) -> None:
+        """Record when the head request first became eligible (for wait-time stats)."""
+        head = self.head()
+        if head is not None and head.issued_round is None:
+            head.issued_round = round_index
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def all_satisfied(self) -> bool:
+        return self._next_index >= len(self._requests)
+
+    @property
+    def satisfied_count(self) -> int:
+        return self._next_index
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._requests) - self._next_index
+
+    def requests(self) -> List[ConsumptionRequest]:
+        return list(self._requests)
+
+    def satisfied_requests(self) -> List[ConsumptionRequest]:
+        return [request for request in self._requests if request.satisfied]
+
+    def consumption_counts(self) -> Dict[EdgeKey, int]:
+        """How many satisfied requests each consumer pair accounts for."""
+        counts: Dict[EdgeKey, int] = {}
+        for request in self.satisfied_requests():
+            counts[request.pair] = counts.get(request.pair, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+
+# ---------------------------------------------------------------------- #
+# Average-rate demand (LP / steady-state workload)
+# ---------------------------------------------------------------------- #
+@dataclass
+class DemandMatrix:
+    """Average consumption rates ``c(x, y)`` keyed by unordered node pair."""
+
+    rates: Dict[EdgeKey, float] = field(default_factory=dict)
+
+    def rate(self, node_a: NodeId, node_b: NodeId) -> float:
+        """The rate ``c(x, y)`` (zero when the pair has no demand)."""
+        if node_a == node_b:
+            return 0.0
+        return self.rates.get(edge_key(node_a, node_b), 0.0)
+
+    def set_rate(self, node_a: NodeId, node_b: NodeId, rate: float) -> None:
+        if node_a == node_b:
+            raise ValueError("consumption between a node and itself is not meaningful")
+        if rate < 0:
+            raise ValueError(f"consumption rate must be non-negative, got {rate}")
+        key = edge_key(node_a, node_b)
+        if rate == 0:
+            self.rates.pop(key, None)
+        else:
+            self.rates[key] = float(rate)
+
+    def pairs(self) -> List[EdgeKey]:
+        """All pairs with positive demand."""
+        return [pair for pair, rate in self.rates.items() if rate > 0]
+
+    def total_rate(self) -> float:
+        return sum(self.rates.values())
+
+    def node_rate(self, node: NodeId) -> float:
+        """Total consumption rate involving ``node`` (the LP's per-node budget check)."""
+        return sum(rate for (a, b), rate in self.rates.items() if node in (a, b))
+
+    def scaled(self, factor: float) -> "DemandMatrix":
+        """A copy with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return DemandMatrix({pair: rate * factor for pair, rate in self.rates.items()})
+
+
+def uniform_demand(pairs: Iterable[EdgeKey], rate: float = 1.0) -> DemandMatrix:
+    """Equal demand ``rate`` on every listed pair."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    demand = DemandMatrix()
+    for node_a, node_b in pairs:
+        demand.set_rate(node_a, node_b, rate)
+    return demand
+
+
+def gravity_demand(
+    topology: Topology,
+    node_weights: Mapping[NodeId, float],
+    total_rate: float = 1.0,
+) -> DemandMatrix:
+    """Gravity-model demand: pair rate proportional to the product of node weights."""
+    if total_rate <= 0:
+        raise ValueError(f"total_rate must be positive, got {total_rate}")
+    for node, weight in node_weights.items():
+        if weight < 0:
+            raise ValueError(f"node weight for {node!r} must be non-negative, got {weight}")
+    raw: Dict[EdgeKey, float] = {}
+    for node_a, node_b in topology.node_pairs():
+        weight = node_weights.get(node_a, 0.0) * node_weights.get(node_b, 0.0)
+        if weight > 0:
+            raw[edge_key(node_a, node_b)] = weight
+    total_weight = sum(raw.values())
+    if total_weight == 0:
+        raise ValueError("gravity demand requires at least one pair of positive-weight nodes")
+    return DemandMatrix({pair: total_rate * weight / total_weight for pair, weight in raw.items()})
+
+
+def hotspot_demand(
+    topology: Topology,
+    hotspot: NodeId,
+    rate_per_pair: float = 1.0,
+    n_partners: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> DemandMatrix:
+    """Demand concentrated on one hotspot node (e.g. a data-centre end point)."""
+    if hotspot not in topology:
+        raise KeyError(f"hotspot node {hotspot!r} not in topology")
+    if rate_per_pair <= 0:
+        raise ValueError(f"rate_per_pair must be positive, got {rate_per_pair}")
+    partners = [node for node in topology.nodes if node != hotspot]
+    if n_partners is not None:
+        if n_partners <= 0:
+            raise ValueError(f"n_partners must be positive, got {n_partners}")
+        generator = rng if rng is not None else np.random.default_rng()
+        chosen = generator.choice(len(partners), size=min(n_partners, len(partners)), replace=False)
+        partners = [partners[int(i)] for i in chosen]
+    demand = DemandMatrix()
+    for partner in partners:
+        demand.set_rate(hotspot, partner, rate_per_pair)
+    return demand

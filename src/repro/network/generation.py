@@ -1,0 +1,100 @@
+"""Bell-pair generation processes.
+
+The paper abstracts generation as an average rate ``g(x, y)`` per edge.  The
+round-based simulator needs a concrete per-round realisation of that rate;
+three are provided:
+
+* :class:`DeterministicGeneration` -- exactly ``g`` pairs per edge per round
+  (fractional rates accumulate), matching the paper's ``g = 1`` setting.
+* :class:`BernoulliGeneration` -- each edge flips a coin with success
+  probability ``min(g, 1)`` per round.
+* :class:`PoissonGeneration` -- the number of new pairs per round is
+  Poisson-distributed with mean ``g``.
+
+All processes return, per round, a mapping ``edge -> number of new pairs``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.network.topology import EdgeKey, Topology
+
+
+class GenerationProcess(abc.ABC):
+    """Turns per-edge average rates into per-round integer pair counts."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abc.abstractmethod
+    def pairs_for_round(self, round_index: int, rng: np.random.Generator) -> Dict[EdgeKey, int]:
+        """How many new elementary pairs each generation edge produces this round."""
+
+    def expected_rate(self, edge: EdgeKey) -> float:
+        """The average rate ``g`` realised for ``edge`` (for sanity checks)."""
+        return self.topology.generation_rate(*edge)
+
+
+class DeterministicGeneration(GenerationProcess):
+    """Deterministic generation: edge with rate ``g`` yields ``g`` pairs per round.
+
+    Non-integer rates are handled by error accumulation (an edge with
+    ``g = 0.5`` produces one pair every other round), so the long-run rate is
+    exact for any positive ``g``.
+    """
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._accumulators: Dict[EdgeKey, float] = {edge: 0.0 for edge in topology.edges()}
+
+    def pairs_for_round(self, round_index: int, rng: np.random.Generator) -> Dict[EdgeKey, int]:
+        result: Dict[EdgeKey, int] = {}
+        for edge, rate in self.topology.generation_rates().items():
+            accumulated = self._accumulators.get(edge, 0.0) + rate
+            count = int(accumulated)
+            self._accumulators[edge] = accumulated - count
+            if count:
+                result[edge] = count
+        return result
+
+
+class BernoulliGeneration(GenerationProcess):
+    """Each edge independently produces one pair with probability ``min(g, 1)`` per round."""
+
+    def pairs_for_round(self, round_index: int, rng: np.random.Generator) -> Dict[EdgeKey, int]:
+        result: Dict[EdgeKey, int] = {}
+        for edge, rate in self.topology.generation_rates().items():
+            probability = min(rate, 1.0)
+            if rng.random() < probability:
+                result[edge] = 1
+        return result
+
+
+class PoissonGeneration(GenerationProcess):
+    """Each edge produces ``Poisson(g)`` pairs per round."""
+
+    def pairs_for_round(self, round_index: int, rng: np.random.Generator) -> Dict[EdgeKey, int]:
+        result: Dict[EdgeKey, int] = {}
+        for edge, rate in self.topology.generation_rates().items():
+            count = int(rng.poisson(rate))
+            if count:
+                result[edge] = count
+        return result
+
+
+def make_generation_process(
+    name: str, topology: Topology, overrides: Optional[Mapping[str, object]] = None
+) -> GenerationProcess:
+    """Build a generation process by name (``"deterministic"``, ``"bernoulli"``, ``"poisson"``)."""
+    key = name.lower().strip()
+    if key == "deterministic":
+        return DeterministicGeneration(topology)
+    if key == "bernoulli":
+        return BernoulliGeneration(topology)
+    if key == "poisson":
+        return PoissonGeneration(topology)
+    raise KeyError(f"unknown generation process {name!r}; choose deterministic, bernoulli or poisson")

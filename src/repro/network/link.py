@@ -1,0 +1,89 @@
+"""Generation links.
+
+A generation link is a node pair able to produce elementary Bell pairs
+directly (the paper's ``g(x, y) > 0`` edges).  The entity-level simulations
+attach physical attributes to the link -- attempt rate, success probability,
+elementary fidelity, classical latency -- which the count-level simulations
+collapse to the single rate ``g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.quantum.bell_pair import BellPair, pair_key
+
+NodeId = Hashable
+
+
+@dataclass
+class GenerationLink:
+    """A physical link able to generate elementary Bell pairs.
+
+    Attributes
+    ----------
+    node_a, node_b:
+        The two endpoints.
+    attempt_rate:
+        Generation attempts per unit time.
+    success_probability:
+        Probability an attempt heralds a usable elementary pair.
+    elementary_fidelity:
+        Werner fidelity of freshly generated pairs.
+    classical_latency:
+        One-way classical signalling delay between the endpoints (used for
+        heralding and swap-correction messages in the detailed simulations).
+    """
+
+    node_a: NodeId
+    node_b: NodeId
+    attempt_rate: float = 1.0
+    success_probability: float = 1.0
+    elementary_fidelity: float = 1.0
+    classical_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError("a generation link must connect two distinct nodes")
+        if self.attempt_rate <= 0:
+            raise ValueError(f"attempt_rate must be positive, got {self.attempt_rate}")
+        if not 0.0 < self.success_probability <= 1.0:
+            raise ValueError(
+                f"success_probability must be in (0, 1], got {self.success_probability}"
+            )
+        if not 0.25 <= self.elementary_fidelity <= 1.0:
+            raise ValueError(
+                f"elementary_fidelity must be within [0.25, 1], got {self.elementary_fidelity}"
+            )
+        if self.classical_latency < 0:
+            raise ValueError(f"classical_latency must be non-negative, got {self.classical_latency}")
+
+    @property
+    def key(self) -> Tuple[NodeId, NodeId]:
+        """Canonical unordered endpoint key."""
+        return pair_key(self.node_a, self.node_b)
+
+    @property
+    def effective_rate(self) -> float:
+        """The paper's ``g(x, y)``: successful elementary pairs per unit time."""
+        return self.attempt_rate * self.success_probability
+
+    def expected_attempts_per_pair(self) -> float:
+        """Expected number of attempts needed per successful pair."""
+        return 1.0 / self.success_probability
+
+    def generate(self, now: float, rng: Optional[np.random.Generator] = None) -> Optional[BellPair]:
+        """Attempt one generation; return the new pair or ``None`` on failure."""
+        generator = rng if rng is not None else np.random.default_rng()
+        if generator.random() >= self.success_probability:
+            return None
+        return BellPair(
+            node_a=self.node_a,
+            node_b=self.node_b,
+            fidelity=self.elementary_fidelity,
+            created_at=now,
+            provenance="generation",
+        )

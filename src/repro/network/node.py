@@ -1,0 +1,98 @@
+"""Quantum network nodes.
+
+A :class:`QuantumNode` bundles a node's identity, its quantum memory, its
+generation-graph neighbourhood and swap/consumption statistics.  It is used
+by the entity-level simulations; the count-level simulations in
+``repro.core.maxmin`` only need the global pair-count ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from repro.quantum.bell_pair import BellPair
+from repro.quantum.decoherence import CutoffPolicy, DecoherenceModel
+from repro.quantum.memory import QuantumMemory
+
+NodeId = Hashable
+
+
+class QuantumNode:
+    """A repeater / end node in the quantum network.
+
+    Parameters
+    ----------
+    node_id:
+        The node's identity in the topology.
+    memory_capacity:
+        Number of qubit-half slots (``None`` = unbounded, the paper's model).
+    decoherence, cutoff:
+        Passed through to the node's :class:`~repro.quantum.memory.QuantumMemory`.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        memory_capacity: Optional[int] = None,
+        decoherence: Optional[DecoherenceModel] = None,
+        cutoff: Optional[CutoffPolicy] = None,
+    ):
+        self.node_id = node_id
+        self.memory = QuantumMemory(
+            owner=node_id, capacity=memory_capacity, decoherence=decoherence, cutoff=cutoff
+        )
+        self.neighbors: List[NodeId] = []
+        self.swaps_performed = 0
+        self.pairs_generated = 0
+        self.pairs_consumed = 0
+
+    # ------------------------------------------------------------------ #
+    # Pair bookkeeping
+    # ------------------------------------------------------------------ #
+    def store_pair(self, pair: BellPair, now: float = 0.0) -> None:
+        """Store this node's half of a new pair."""
+        self.memory.store(pair, now=now)
+
+    def release_pair(self, pair_id: int) -> BellPair:
+        """Remove a pair half from memory (because it was swapped/consumed/expired)."""
+        return self.memory.release(pair_id)
+
+    def pair_count(self, partner: NodeId) -> int:
+        """The paper's ``C_x(y)`` seen from this node."""
+        return self.memory.count_with(partner)
+
+    def pair_counts(self) -> Dict[NodeId, int]:
+        """Counts for every current entanglement partner."""
+        return self.memory.partners()
+
+    def entangled_partners(self) -> List[NodeId]:
+        """Nodes with which this node currently shares at least one pair."""
+        return [partner for partner, count in self.memory.partners().items() if count > 0]
+
+    def oldest_pair_with(self, partner: NodeId) -> Optional[BellPair]:
+        """The oldest stored pair shared with ``partner`` (FIFO usage)."""
+        return self.memory.oldest_with(partner)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def record_swap(self) -> None:
+        self.swaps_performed += 1
+
+    def record_generation(self) -> None:
+        self.pairs_generated += 1
+
+    def record_consumption(self) -> None:
+        self.pairs_consumed += 1
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of this node's counters (for reports)."""
+        return {
+            "swaps_performed": self.swaps_performed,
+            "pairs_generated": self.pairs_generated,
+            "pairs_consumed": self.pairs_consumed,
+            "pairs_in_memory": len(self.memory),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QuantumNode(id={self.node_id!r}, stored={len(self.memory)})"

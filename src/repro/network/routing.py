@@ -1,0 +1,118 @@
+"""Routing over the generation graph.
+
+The planned-path baselines (and the paper's overhead denominator) need
+shortest paths in the generation graph; the hybrid protocol (§6) needs
+shortest paths in the *current entanglement graph*.  Both use the helpers
+here, which are thin, well-tested wrappers over :class:`Topology`'s BFS and
+a Yen-style k-shortest-path implementation for multipath baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.network.topology import EdgeKey, Topology, edge_key
+
+NodeId = Hashable
+Path = List[NodeId]
+
+
+def shortest_path(topology: Topology, source: NodeId, target: NodeId) -> Optional[Path]:
+    """Hop-count shortest path in the generation graph (``None`` when disconnected)."""
+    return topology.shortest_path(source, target)
+
+
+def shortest_path_length(topology: Topology, source: NodeId, target: NodeId) -> Optional[int]:
+    """Hop count of the shortest generation-graph path."""
+    return topology.shortest_path_length(source, target)
+
+
+def all_pairs_shortest_path_lengths(topology: Topology) -> Dict[EdgeKey, int]:
+    """Hop-count distances between all node pairs (used by the overhead metric)."""
+    return topology.all_pairs_shortest_path_lengths()
+
+
+def path_hops(path: Sequence[NodeId]) -> int:
+    """Number of hops (edges) in a node path."""
+    if len(path) < 1:
+        raise ValueError("a path must contain at least one node")
+    return len(path) - 1
+
+
+def path_edges(path: Sequence[NodeId]) -> List[EdgeKey]:
+    """The canonical edge keys traversed by ``path``."""
+    return [edge_key(a, b) for a, b in zip(path, path[1:])]
+
+
+def validate_path(topology: Topology, path: Sequence[NodeId]) -> None:
+    """Raise :class:`ValueError` unless every consecutive pair is a generation edge."""
+    if len(path) < 2:
+        raise ValueError("a swap path needs at least two nodes")
+    for node_a, node_b in zip(path, path[1:]):
+        if not topology.has_edge(node_a, node_b):
+            raise ValueError(f"({node_a!r}, {node_b!r}) is not a generation edge")
+
+
+def k_shortest_paths(
+    topology: Topology, source: NodeId, target: NodeId, k: int
+) -> List[Path]:
+    """Yen's algorithm: up to ``k`` loop-free shortest paths by hop count.
+
+    Used by the multipath planned baseline and by load-balancing ablations.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    first = topology.shortest_path(source, target)
+    if first is None:
+        return []
+    paths: List[Path] = [first]
+    candidates: List[Tuple[int, Path]] = []
+
+    for _ in range(1, k):
+        previous = paths[-1]
+        for spur_index in range(len(previous) - 1):
+            spur_node = previous[spur_index]
+            root_path = previous[: spur_index + 1]
+            pruned = topology.copy()
+            for path in paths:
+                if len(path) > spur_index and path[: spur_index + 1] == root_path:
+                    node_a, node_b = path[spur_index], path[spur_index + 1]
+                    if pruned.has_edge(node_a, node_b):
+                        pruned.remove_edge(node_a, node_b)
+            for node in root_path[:-1]:
+                for neighbor in list(pruned.neighbors(node)):
+                    pruned.remove_edge(node, neighbor)
+            spur_path = pruned.shortest_path(spur_node, target)
+            if spur_path is None:
+                continue
+            candidate = root_path[:-1] + spur_path
+            if candidate in paths or any(candidate == existing for _, existing in candidates):
+                continue
+            candidates.append((len(candidate) - 1, candidate))
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], [repr(node) for node in item[1]]))
+        _, best = candidates.pop(0)
+        paths.append(best)
+    return paths
+
+
+def edge_disjoint_paths(topology: Topology, source: NodeId, target: NodeId, k: int) -> List[Path]:
+    """Greedy edge-disjoint shortest paths (used by the connectionless baseline)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    working = topology.copy()
+    paths: List[Path] = []
+    for _ in range(k):
+        path = working.shortest_path(source, target)
+        if path is None:
+            break
+        paths.append(path)
+        for node_a, node_b in zip(path, path[1:]):
+            working.remove_edge(node_a, node_b)
+    return paths
+
+
+def path_load(paths: Mapping[EdgeKey, int], path: Sequence[NodeId]) -> int:
+    """Total existing load along ``path`` under a per-edge load map (congestion heuristic)."""
+    return sum(paths.get(key, 0) for key in path_edges(path))

@@ -1,0 +1,23 @@
+"""Complete generation graph.
+
+Every node pair can generate directly, so no swapping is ever *needed*;
+useful as a degenerate control case (the balancing protocol should perform
+essentially no swaps).
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+
+def complete_topology(n_nodes: int, generation_rate: float = 1.0) -> Topology:
+    """Build the complete graph ``K_n`` with uniform generation rates."""
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+    topology = Topology(name=f"complete-{n_nodes}")
+    for node in range(n_nodes):
+        topology.add_node(node)
+    for node_a in range(n_nodes):
+        for node_b in range(node_a + 1, n_nodes):
+            topology.add_edge(node_a, node_b, generation_rate)
+    return topology

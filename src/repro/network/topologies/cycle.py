@@ -1,0 +1,33 @@
+"""Cycle topology.
+
+The paper's first evaluation topology (§5): nodes ``0 .. |N| - 1`` with a
+generation edge between ``x`` and ``y`` iff ``y = x ± 1 (mod |N|)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import Topology
+
+
+def cycle_topology(n_nodes: int, generation_rate: float = 1.0) -> Topology:
+    """Build the ``n_nodes``-node cycle generation graph.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; must be at least 3 so the cycle is simple (no
+        parallel edges).
+    generation_rate:
+        The rate ``g(x, y)`` put on every cycle edge (1.0 in the paper).
+    """
+    if n_nodes < 3:
+        raise ValueError(f"a cycle needs at least 3 nodes, got {n_nodes}")
+    topology = Topology(name=f"cycle-{n_nodes}")
+    for node in range(n_nodes):
+        angle = 2.0 * math.pi * node / n_nodes
+        topology.add_node(node, position=(math.cos(angle), math.sin(angle)))
+    for node in range(n_nodes):
+        topology.add_edge(node, (node + 1) % n_nodes, generation_rate)
+    return topology

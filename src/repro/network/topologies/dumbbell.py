@@ -1,0 +1,43 @@
+"""Dumbbell topology: two cliques joined by a chain of bottleneck repeaters.
+
+The classic congestion topology.  All cross-clique demand must cross the
+bottleneck chain, which makes the contrast between planned-path reservation
+and path-oblivious balancing most visible.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+
+def dumbbell_topology(
+    clique_size: int, bridge_length: int = 1, generation_rate: float = 1.0
+) -> Topology:
+    """Build a dumbbell with two ``clique_size``-cliques and a ``bridge_length``-hop bridge.
+
+    Node numbering: ``0 .. clique_size-1`` is the left clique,
+    ``clique_size .. clique_size+bridge_length-1`` the bridge repeaters, and
+    the remaining ``clique_size`` nodes the right clique.
+    """
+    if clique_size < 2:
+        raise ValueError(f"clique_size must be at least 2, got {clique_size}")
+    if bridge_length < 0:
+        raise ValueError(f"bridge_length must be non-negative, got {bridge_length}")
+    total = 2 * clique_size + bridge_length
+    topology = Topology(name=f"dumbbell-{clique_size}x2-bridge{bridge_length}")
+    for node in range(total):
+        topology.add_node(node)
+
+    left = list(range(clique_size))
+    bridge = list(range(clique_size, clique_size + bridge_length))
+    right = list(range(clique_size + bridge_length, total))
+
+    for group in (left, right):
+        for index, node_a in enumerate(group):
+            for node_b in group[index + 1 :]:
+                topology.add_edge(node_a, node_b, generation_rate)
+
+    chain = [left[-1]] + bridge + [right[0]]
+    for node_a, node_b in zip(chain, chain[1:]):
+        topology.add_edge(node_a, node_b, generation_rate)
+    return topology

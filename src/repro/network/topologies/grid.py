@@ -1,0 +1,66 @@
+"""Wraparound (toroidal) grid topology.
+
+The paper's second topology family embeds nodes on a
+``sqrt(|N|) x sqrt(|N|)`` wraparound grid; the *full* grid here includes
+every torus edge, and :mod:`repro.network.topologies.random_grid` draws the
+paper's random connected subgraph of it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.network.topology import Topology
+
+
+def grid_side(n_nodes: int) -> int:
+    """Return ``sqrt(n_nodes)`` as an integer, validating that it is a perfect square."""
+    side = int(round(math.sqrt(n_nodes)))
+    if side * side != n_nodes:
+        raise ValueError(f"grid topologies need a perfect-square node count, got {n_nodes}")
+    if side < 2:
+        raise ValueError(f"grid topologies need at least 4 nodes, got {n_nodes}")
+    return side
+
+
+def node_at(row: int, column: int, side: int) -> int:
+    """Map grid coordinates (with wraparound) to the integer node id."""
+    return (row % side) * side + (column % side)
+
+
+def coordinates_of(node: int, side: int) -> Tuple[int, int]:
+    """Inverse of :func:`node_at` for canonical (non-wrapped) coordinates."""
+    if not 0 <= node < side * side:
+        raise ValueError(f"node {node} out of range for a {side}x{side} grid")
+    return divmod(node, side)
+
+
+def grid_topology(n_nodes: int, generation_rate: float = 1.0, wraparound: bool = True) -> Topology:
+    """Build the full ``sqrt(n) x sqrt(n)`` grid generation graph.
+
+    Parameters
+    ----------
+    n_nodes:
+        A perfect square (e.g. 25 for the paper's |N| = 25 experiments).
+    generation_rate:
+        Rate assigned to every grid edge.
+    wraparound:
+        When ``True`` (paper setting) the grid is a torus: row/column
+        neighbours wrap modulo ``sqrt(n)``.
+    """
+    side = grid_side(n_nodes)
+    topology = Topology(name=f"grid-{side}x{side}{'-torus' if wraparound else ''}")
+    for node in range(n_nodes):
+        row, column = coordinates_of(node, side)
+        topology.add_node(node, position=(float(column), float(row)))
+    for row in range(side):
+        for column in range(side):
+            node = node_at(row, column, side)
+            right_column = column + 1
+            down_row = row + 1
+            if wraparound or right_column < side:
+                topology.add_edge(node, node_at(row, right_column, side), generation_rate)
+            if wraparound or down_row < side:
+                topology.add_edge(node, node_at(down_row, column, side), generation_rate)
+    return topology

@@ -1,0 +1,22 @@
+"""Line (repeater-chain) topology.
+
+The canonical quantum-repeater setting: nodes ``0 .. n-1`` in a chain.  Used
+by the nested-swapping tests (the ``s(n)`` recurrence is defined on chains)
+and by several examples.
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Topology
+
+
+def line_topology(n_nodes: int, generation_rate: float = 1.0) -> Topology:
+    """Build an ``n_nodes``-node path graph ``0 - 1 - ... - (n-1)``."""
+    if n_nodes < 2:
+        raise ValueError(f"a line needs at least 2 nodes, got {n_nodes}")
+    topology = Topology(name=f"line-{n_nodes}")
+    for node in range(n_nodes):
+        topology.add_node(node, position=(float(node), 0.0))
+    for node in range(n_nodes - 1):
+        topology.add_edge(node, node + 1, generation_rate)
+    return topology

@@ -1,0 +1,25 @@
+"""Star topology.
+
+One hub generating with every leaf.  A useful stress case for the balancing
+protocol: every end-to-end pair between leaves requires a swap at the hub,
+so the hub's counts dominate the max-min condition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.topology import Topology
+
+
+def star_topology(n_leaves: int, generation_rate: float = 1.0) -> Topology:
+    """Build a star with node 0 as the hub and nodes ``1 .. n_leaves`` as leaves."""
+    if n_leaves < 2:
+        raise ValueError(f"a star needs at least 2 leaves, got {n_leaves}")
+    topology = Topology(name=f"star-{n_leaves}")
+    topology.add_node(0, position=(0.0, 0.0))
+    for leaf in range(1, n_leaves + 1):
+        angle = 2.0 * math.pi * (leaf - 1) / n_leaves
+        topology.add_node(leaf, position=(math.cos(angle), math.sin(angle)))
+        topology.add_edge(0, leaf, generation_rate)
+    return topology

@@ -1,0 +1,46 @@
+"""Uniform random tree topology.
+
+Sparse connected graphs stress the balancing protocol differently from
+cycles and grids (no redundant paths), so random trees are part of the
+ablation topology family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+def random_tree_topology(
+    n_nodes: int,
+    rng: Optional[np.random.Generator] = None,
+    generation_rate: float = 1.0,
+) -> Topology:
+    """Build a uniformly random labelled tree via a random Prüfer sequence."""
+    if n_nodes < 2:
+        raise ValueError(f"a tree needs at least 2 nodes, got {n_nodes}")
+    generator = rng if rng is not None else np.random.default_rng()
+    topology = Topology(name=f"tree-{n_nodes}")
+    for node in range(n_nodes):
+        topology.add_node(node)
+    if n_nodes == 2:
+        topology.add_edge(0, 1, generation_rate)
+        return topology
+
+    prufer = [int(generator.integers(0, n_nodes)) for _ in range(n_nodes - 2)]
+    degree = [1] * n_nodes
+    for node in prufer:
+        degree[node] += 1
+    for node in prufer:
+        for leaf in range(n_nodes):
+            if degree[leaf] == 1:
+                topology.add_edge(node, leaf, generation_rate)
+                degree[node] -= 1
+                degree[leaf] -= 1
+                break
+    leaves = [node for node in range(n_nodes) if degree[node] == 1]
+    topology.add_edge(leaves[0], leaves[1], generation_rate)
+    return topology

@@ -1,0 +1,57 @@
+"""Waxman geometric random graphs.
+
+The classic internet-topology generator: nodes are placed uniformly in the
+unit square and each pair is connected with probability
+``alpha * exp(-d / (beta * L))`` where ``d`` is their Euclidean distance and
+``L`` the maximum possible distance.  Geometric locality matches how
+elementary entanglement generation actually works (only nearby nodes can
+generate directly), so Waxman graphs are a natural "realistic" member of
+the ablation topology family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.network.topology import Topology
+
+
+def waxman_topology(
+    n_nodes: int,
+    alpha: float = 0.6,
+    beta: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+    generation_rate: float = 1.0,
+    max_attempts: int = 200,
+) -> Topology:
+    """Sample a connected Waxman generation graph on the unit square."""
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {n_nodes}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if beta <= 0.0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    generator = rng if rng is not None else np.random.default_rng()
+    max_distance = math.sqrt(2.0)
+    for _ in range(max_attempts):
+        positions = {node: (float(generator.random()), float(generator.random())) for node in range(n_nodes)}
+        topology = Topology(name=f"waxman-{n_nodes}", positions=positions)
+        for node in range(n_nodes):
+            topology.add_node(node, position=positions[node])
+        for node_a in range(n_nodes):
+            for node_b in range(node_a + 1, n_nodes):
+                xa, ya = positions[node_a]
+                xb, yb = positions[node_b]
+                distance = math.hypot(xa - xb, ya - yb)
+                probability = alpha * math.exp(-distance / (beta * max_distance))
+                if generator.random() < probability:
+                    topology.add_edge(node_a, node_b, generation_rate)
+        if topology.is_connected():
+            return topology
+    raise RuntimeError(
+        f"failed to sample a connected Waxman({n_nodes}, alpha={alpha}, beta={beta}) graph "
+        f"in {max_attempts} attempts; increase alpha or beta"
+    )

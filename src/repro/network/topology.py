@@ -1,0 +1,334 @@
+"""The generation graph.
+
+The paper defines the *generation graph* ``G`` as the undirected graph whose
+edges are the node pairs ``(x, y)`` with positive elementary generation rate
+``g(x, y) > 0``.  :class:`Topology` stores exactly that -- nodes, undirected
+edges, per-edge generation rates and optional node positions -- plus the
+graph queries (connectivity, shortest paths, neighbourhoods) the protocols
+and baselines need.
+
+The class is self-contained (its own BFS/Dijkstra) so the core library does
+not *require* networkx, but :meth:`Topology.to_networkx` is provided for
+interoperability and is used by some analyses.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+NodeId = Hashable
+EdgeKey = Tuple[NodeId, NodeId]
+
+
+def edge_key(node_a: NodeId, node_b: NodeId) -> EdgeKey:
+    """Canonical unordered edge key (mirrors :func:`repro.quantum.bell_pair.pair_key`)."""
+    if node_a == node_b:
+        raise ValueError(f"self-loop edges are not allowed (node {node_a!r})")
+    first, second = sorted((node_a, node_b), key=repr)
+    return (first, second)
+
+
+class Topology:
+    """An undirected generation graph with per-edge generation rates.
+
+    Parameters
+    ----------
+    name:
+        Human-readable topology name (used in experiment reports).
+    nodes:
+        Optional initial node collection.
+    positions:
+        Optional mapping from node to an ``(x, y)`` coordinate, used by
+        geometric topologies and plotting helpers.
+    """
+
+    def __init__(
+        self,
+        name: str = "topology",
+        nodes: Optional[Iterable[NodeId]] = None,
+        positions: Optional[Mapping[NodeId, Tuple[float, float]]] = None,
+    ):
+        self.name = name
+        self._adjacency: Dict[NodeId, Dict[NodeId, float]] = {}
+        self._positions: Dict[NodeId, Tuple[float, float]] = dict(positions or {})
+        for node in nodes or []:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node: NodeId, position: Optional[Tuple[float, float]] = None) -> None:
+        """Add a node (idempotent)."""
+        self._adjacency.setdefault(node, {})
+        if position is not None:
+            self._positions[node] = position
+
+    def add_edge(self, node_a: NodeId, node_b: NodeId, generation_rate: float = 1.0) -> None:
+        """Add (or update) a generation edge with the given rate.
+
+        Raises
+        ------
+        ValueError
+            For self loops or non-positive generation rates (an edge with
+            zero rate is simply not part of the generation graph).
+        """
+        if node_a == node_b:
+            raise ValueError(f"self-loop generation edges are not allowed (node {node_a!r})")
+        if generation_rate <= 0:
+            raise ValueError(
+                f"generation_rate must be positive, got {generation_rate} for edge "
+                f"({node_a!r}, {node_b!r})"
+            )
+        self.add_node(node_a)
+        self.add_node(node_b)
+        self._adjacency[node_a][node_b] = float(generation_rate)
+        self._adjacency[node_b][node_a] = float(generation_rate)
+
+    def remove_edge(self, node_a: NodeId, node_b: NodeId) -> None:
+        """Remove a generation edge (raises ``KeyError`` if absent)."""
+        if node_b not in self._adjacency.get(node_a, {}):
+            raise KeyError(f"edge ({node_a!r}, {node_b!r}) not in topology")
+        del self._adjacency[node_a][node_b]
+        del self._adjacency[node_b][node_a]
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[NodeId]:
+        """All nodes, in insertion order."""
+        return list(self._adjacency)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(neighbors) for neighbors in self._adjacency.values()) // 2
+
+    def edges(self) -> List[EdgeKey]:
+        """All undirected edges as canonical keys."""
+        seen = set()
+        result: List[EdgeKey] = []
+        for node, neighbors in self._adjacency.items():
+            for neighbor in neighbors:
+                key = edge_key(node, neighbor)
+                if key not in seen:
+                    seen.add(key)
+                    result.append(key)
+        return result
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._adjacency
+
+    def has_edge(self, node_a: NodeId, node_b: NodeId) -> bool:
+        return node_b in self._adjacency.get(node_a, {})
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Generation-graph neighbours of ``node``."""
+        if node not in self._adjacency:
+            raise KeyError(f"node {node!r} not in topology")
+        return list(self._adjacency[node])
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency.get(node, {}))
+
+    def generation_rate(self, node_a: NodeId, node_b: NodeId) -> float:
+        """The rate ``g(x, y)``; zero when the pair is not a generation edge."""
+        return self._adjacency.get(node_a, {}).get(node_b, 0.0)
+
+    def generation_rates(self) -> Dict[EdgeKey, float]:
+        """All positive generation rates keyed by canonical edge."""
+        return {key: self.generation_rate(*key) for key in self.edges()}
+
+    def position(self, node: NodeId) -> Optional[Tuple[float, float]]:
+        return self._positions.get(node)
+
+    def total_generation_rate(self) -> float:
+        """Sum of ``g(x, y)`` over all generation edges."""
+        return sum(self.generation_rates().values())
+
+    # ------------------------------------------------------------------ #
+    # Graph algorithms
+    # ------------------------------------------------------------------ #
+    def is_connected(self) -> bool:
+        """Whether the generation graph connects all nodes.
+
+        The paper notes that nodes in distinct connected components can
+        never share a Bell pair, so every experiment topology must pass
+        this check.
+        """
+        if not self._adjacency:
+            return True
+        start = next(iter(self._adjacency))
+        visited = {start}
+        frontier = collections.deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return len(visited) == len(self._adjacency)
+
+    def connected_components(self) -> List[List[NodeId]]:
+        """All connected components, each as a node list."""
+        remaining = set(self._adjacency)
+        components: List[List[NodeId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            frontier = collections.deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            components.append(sorted(component, key=repr))
+            remaining -= component
+        return components
+
+    def shortest_path(self, source: NodeId, target: NodeId) -> Optional[List[NodeId]]:
+        """Unweighted (hop-count) shortest path, or ``None`` when unreachable."""
+        if source not in self._adjacency or target not in self._adjacency:
+            raise KeyError(f"both endpoints must be topology nodes: {source!r}, {target!r}")
+        if source == target:
+            return [source]
+        predecessors: Dict[NodeId, NodeId] = {}
+        visited = {source}
+        frontier = collections.deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                predecessors[neighbor] = node
+                if neighbor == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(predecessors[path[-1]])
+                    return list(reversed(path))
+                frontier.append(neighbor)
+        return None
+
+    def shortest_path_length(self, source: NodeId, target: NodeId) -> Optional[int]:
+        """Hop count of the shortest path, or ``None`` when unreachable."""
+        path = self.shortest_path(source, target)
+        if path is None:
+            return None
+        return len(path) - 1
+
+    def weighted_shortest_path(
+        self, source: NodeId, target: NodeId, weights: Mapping[EdgeKey, float]
+    ) -> Optional[Tuple[List[NodeId], float]]:
+        """Dijkstra shortest path under explicit per-edge weights.
+
+        Used by planned-path baselines that route around congested or
+        low-rate links rather than purely by hop count.
+        """
+        if source not in self._adjacency or target not in self._adjacency:
+            raise KeyError(f"both endpoints must be topology nodes: {source!r}, {target!r}")
+        distances: Dict[NodeId, float] = {source: 0.0}
+        predecessors: Dict[NodeId, NodeId] = {}
+        heap: List[Tuple[float, int, NodeId]] = [(0.0, 0, source)]
+        counter = 1
+        finished = set()
+        while heap:
+            distance, _, node = heapq.heappop(heap)
+            if node in finished:
+                continue
+            finished.add(node)
+            if node == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(predecessors[path[-1]])
+                return list(reversed(path)), distance
+            for neighbor in self._adjacency[node]:
+                key = edge_key(node, neighbor)
+                weight = weights.get(key, 1.0)
+                if weight < 0:
+                    raise ValueError(f"negative edge weight {weight} for {key}")
+                candidate = distance + weight
+                if candidate < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = candidate
+                    predecessors[neighbor] = node
+                    heapq.heappush(heap, (candidate, counter, neighbor))
+                    counter += 1
+        return None
+
+    def all_pairs_shortest_path_lengths(self) -> Dict[EdgeKey, int]:
+        """Hop-count distances for every unordered node pair (BFS from each node)."""
+        lengths: Dict[EdgeKey, int] = {}
+        for source in self._adjacency:
+            distances = {source: 0}
+            frontier = collections.deque([source])
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in self._adjacency[node]:
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[node] + 1
+                        frontier.append(neighbor)
+            for target, distance in distances.items():
+                if target == source:
+                    continue
+                lengths[edge_key(source, target)] = distance
+        return lengths
+
+    def diameter(self) -> int:
+        """The largest finite shortest-path length (0 for trivial graphs)."""
+        lengths = self.all_pairs_shortest_path_lengths()
+        return max(lengths.values()) if lengths else 0
+
+    # ------------------------------------------------------------------ #
+    # Interop and utilities
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with ``generation_rate`` edge attributes."""
+        import networkx as nx
+
+        graph = nx.Graph(name=self.name)
+        graph.add_nodes_from(self.nodes)
+        for (node_a, node_b), rate in self.generation_rates().items():
+            graph.add_edge(node_a, node_b, generation_rate=rate)
+        return graph
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        """A deep copy (optionally renamed)."""
+        clone = Topology(name=name or self.name, positions=self._positions)
+        for node in self.nodes:
+            clone.add_node(node)
+        for (node_a, node_b), rate in self.generation_rates().items():
+            clone.add_edge(node_a, node_b, rate)
+        return clone
+
+    def scale_generation_rates(self, factor: float) -> "Topology":
+        """Return a copy with every generation rate multiplied by ``factor``.
+
+        Used to apply the QEC thinning ``g / R`` of Section 3.2 uniformly.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        clone = Topology(name=self.name, positions=self._positions)
+        for node in self.nodes:
+            clone.add_node(node)
+        for (node_a, node_b), rate in self.generation_rates().items():
+            clone.add_edge(node_a, node_b, rate * factor)
+        return clone
+
+    def node_pairs(self) -> Iterator[EdgeKey]:
+        """All unordered node pairs (the paper's ``|N| choose 2`` candidate set)."""
+        ordered = self.nodes
+        for index, node_a in enumerate(ordered):
+            for node_b in ordered[index + 1 :]:
+                yield edge_key(node_a, node_b)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(name={self.name!r}, nodes={self.n_nodes}, edges={self.n_edges})"

@@ -1,0 +1,52 @@
+"""Swapping protocols.
+
+Round-based, count-level implementations of the protocols compared in the
+paper's evaluation:
+
+* :class:`~repro.protocols.oblivious.PathObliviousProtocol` -- the paper's
+  max-min balancing protocol (§4), optionally with the hybrid fallback (§6).
+* :class:`~repro.protocols.planned.connection_oriented.ConnectionOrientedProtocol`
+  -- the classic planned-path baseline: one request at a time, shortest path
+  reserved, nested swapping along it.
+* :class:`~repro.protocols.planned.connectionless.ConnectionlessProtocol`
+  -- planned paths without pair reservation: a window of requests compete
+  for the link-level pairs their paths share.
+* :class:`~repro.protocols.planned.ondemand.OnDemandProtocol` -- the
+  "water-park" strawman: generation is only switched on for links on the
+  active request's path.
+
+:mod:`repro.protocols.nested` provides the nested-swapping cost model that
+both the baselines and the paper's overhead metric rely on.
+"""
+
+from repro.protocols.base import ProtocolResult, SwappingProtocol
+from repro.protocols.entity import EntityLevelSimulation, EntitySimulationResult
+from repro.protocols.nested import (
+    execute_nested,
+    nested_schedule,
+    nested_swap_count,
+    required_link_pairs,
+    sequential_swap_count,
+)
+from repro.protocols.oblivious import PathObliviousProtocol
+from repro.protocols.planned import (
+    ConnectionOrientedProtocol,
+    ConnectionlessProtocol,
+    OnDemandProtocol,
+)
+
+__all__ = [
+    "ConnectionOrientedProtocol",
+    "ConnectionlessProtocol",
+    "EntityLevelSimulation",
+    "EntitySimulationResult",
+    "OnDemandProtocol",
+    "PathObliviousProtocol",
+    "ProtocolResult",
+    "SwappingProtocol",
+    "execute_nested",
+    "nested_schedule",
+    "nested_swap_count",
+    "required_link_pairs",
+    "sequential_swap_count",
+]

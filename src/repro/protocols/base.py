@@ -1,0 +1,219 @@
+"""Protocol interface and result record.
+
+Every protocol in this package runs the same round-based workload -- a
+generation process feeding a count ledger and an ordered consumption-request
+sequence draining it -- and differs only in *how* it turns link-level pairs
+into the end-to-end pairs the requests need.  :class:`SwappingProtocol` owns
+the shared machinery (the round loop, generation, ordered consumption,
+metric counters); subclasses implement :meth:`_action_phase` (what happens
+between generation and consumption each round) and
+:meth:`_try_serve_head` (whether the head-of-line request can be served
+right now).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.lp.extensions import PairOverheads
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.network.demand import ConsumptionRequest, RequestSequence
+from repro.network.generation import DeterministicGeneration, GenerationProcess
+from repro.network.topology import EdgeKey, Topology
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import RandomStreams
+from repro.sim.rounds import RoundBasedSimulator, RoundPhase
+
+NodeId = Hashable
+
+
+@dataclass
+class ProtocolResult:
+    """What one protocol run produced (the raw material for every report)."""
+
+    protocol: str
+    topology: str
+    n_nodes: int
+    rounds: int
+    swaps_performed: int
+    requests_total: int
+    requests_satisfied: int
+    pairs_generated: int
+    pairs_consumed: int
+    pairs_remaining: int
+    satisfied_requests: List[ConsumptionRequest] = field(default_factory=list)
+    swaps_by_node: Dict[NodeId, int] = field(default_factory=dict)
+    classical_overhead: Dict[str, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_requests_satisfied(self) -> bool:
+        return self.requests_satisfied >= self.requests_total
+
+    def mean_waiting_rounds(self) -> float:
+        """Mean rounds a satisfied request waited between issue and satisfaction."""
+        waits = [
+            request.waiting_rounds
+            for request in self.satisfied_requests
+            if request.waiting_rounds is not None
+        ]
+        if not waits:
+            return float("nan")
+        return sum(waits) / len(waits)
+
+    def swaps_per_satisfied_request(self) -> float:
+        if self.requests_satisfied == 0:
+            return float("nan")
+        return self.swaps_performed / self.requests_satisfied
+
+
+class SwappingProtocol(abc.ABC):
+    """Shared round-based workload driver for all protocols.
+
+    Parameters
+    ----------
+    topology:
+        The generation graph.
+    requests:
+        The ordered consumption request sequence.
+    overheads:
+        Distillation/loss overheads; a bare float is a uniform ``D``.
+    generation:
+        Per-round realisation of the generation rates; defaults to the
+        paper's deterministic ``g`` pairs per edge per round.
+    streams:
+        Named RNG streams (defaults to seed 0).
+    max_rounds:
+        Hard bound on the number of rounds (the run also stops as soon as
+        every request has been satisfied).
+    consumptions_per_round:
+        Cap on how many head-of-line requests may be served per round
+        (``None`` = as many as resources allow).
+    """
+
+    #: Human-readable protocol name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(
+        self,
+        topology: Topology,
+        requests: RequestSequence,
+        overheads: Union[PairOverheads, float] = 1.0,
+        generation: Optional[GenerationProcess] = None,
+        streams: Optional[RandomStreams] = None,
+        max_rounds: int = 50_000,
+        consumptions_per_round: Optional[int] = None,
+    ):
+        if max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {max_rounds}")
+        if consumptions_per_round is not None and consumptions_per_round <= 0:
+            raise ValueError(
+                f"consumptions_per_round must be positive or None, got {consumptions_per_round}"
+            )
+        self.topology = topology
+        self.requests = requests
+        if isinstance(overheads, (int, float)):
+            overheads = PairOverheads.uniform(distillation=float(overheads))
+        self.overheads = overheads
+        self.generation = generation if generation is not None else DeterministicGeneration(topology)
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self.max_rounds = int(max_rounds)
+        self.consumptions_per_round = consumptions_per_round
+
+        self.ledger = PairCountLedger(topology.nodes)
+        self.metrics = MetricRegistry()
+        self.pairs_generated = 0
+        self.pairs_consumed = 0
+        self.rounds_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Cost helpers shared by every protocol
+    # ------------------------------------------------------------------ #
+    def distillation_cost(self, node_a: NodeId, node_b: NodeId) -> int:
+        """Integer raw-pair cost of one use of the pair ``(node_a, node_b)``."""
+        return int(math.ceil(self.overheads.distillation_for(node_a, node_b)))
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def _generation_phase(self, round_index: int) -> Optional[bool]:
+        rng = self.streams.get("generation")
+        for edge, count in self.generation.pairs_for_round(round_index, rng).items():
+            if self._edge_generates(edge, round_index):
+                self.ledger.add(edge[0], edge[1], count)
+                self.pairs_generated += count
+        return None
+
+    def _edge_generates(self, edge: EdgeKey, round_index: int) -> bool:
+        """Hook letting subclasses suppress generation (e.g. the on-demand baseline)."""
+        return True
+
+    @abc.abstractmethod
+    def _action_phase(self, round_index: int) -> Optional[bool]:
+        """Protocol-specific work (balancing swaps, planned-path construction, ...)."""
+
+    def _consumption_phase(self, round_index: int) -> Optional[bool]:
+        served = 0
+        while True:
+            head = self.requests.head()
+            if head is None:
+                return True
+            self.requests.note_head_issued(round_index)
+            if self.consumptions_per_round is not None and served >= self.consumptions_per_round:
+                return None
+            if not self._try_serve_head(head, round_index):
+                return None
+            self.requests.mark_head_satisfied(round_index)
+            served += 1
+
+    @abc.abstractmethod
+    def _try_serve_head(self, request: ConsumptionRequest, round_index: int) -> bool:
+        """Serve the head request right now if possible; return whether it was served."""
+
+    # ------------------------------------------------------------------ #
+    # The run loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> ProtocolResult:
+        """Run until every request is satisfied or ``max_rounds`` is reached."""
+        simulator = RoundBasedSimulator(max_rounds=self.max_rounds, metrics=self.metrics)
+        simulator.add_hook(RoundPhase.GENERATION, self._generation_phase)
+        simulator.add_hook(RoundPhase.BALANCING, self._action_phase)
+        simulator.add_hook(RoundPhase.CONSUMPTION, self._consumption_phase)
+        simulator.add_stop_condition(lambda _: self.requests.all_satisfied)
+        self.rounds_executed = simulator.run()
+        return self._build_result()
+
+    # ------------------------------------------------------------------ #
+    # Result assembly
+    # ------------------------------------------------------------------ #
+    def swaps_performed(self) -> int:
+        """Total swaps executed so far (subclasses report their own counters)."""
+        return 0
+
+    def swaps_by_node(self) -> Dict[NodeId, int]:
+        return {}
+
+    def classical_overhead(self) -> Dict[str, int]:
+        return {}
+
+    def _build_result(self) -> ProtocolResult:
+        return ProtocolResult(
+            protocol=self.name,
+            topology=self.topology.name,
+            n_nodes=self.topology.n_nodes,
+            rounds=self.rounds_executed,
+            swaps_performed=self.swaps_performed(),
+            requests_total=len(self.requests),
+            requests_satisfied=self.requests.satisfied_count,
+            pairs_generated=self.pairs_generated,
+            pairs_consumed=self.pairs_consumed,
+            pairs_remaining=self.ledger.total_pairs(),
+            satisfied_requests=self.requests.satisfied_requests(),
+            swaps_by_node=self.swaps_by_node(),
+            classical_overhead=self.classical_overhead(),
+        )

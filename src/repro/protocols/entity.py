@@ -1,0 +1,290 @@
+"""Entity-level (discrete-event) path-oblivious simulation.
+
+The paper's headline evaluation is count-level, and its Section 6 admits the
+coherence/distillation model is oversimplified.  This module provides the
+"future study" version: every Bell pair is an entity with a creation time
+and a fidelity, memories decohere, swaps are performed by
+:class:`~repro.quantum.swap.SwapPhysics` (and can fail), consumption is an
+actual teleportation whose delivered fidelity is recorded, and stale pairs
+are cleansed by a transport-layer cutoff policy.
+
+The balancing *decisions* are still the paper's max-min rule -- the count
+ledger is kept in sync with the entity state and the
+:class:`~repro.core.maxmin.balancer.MaxMinBalancer` chooses the swaps -- so
+the entity simulation isolates exactly one question: how much do physical
+imperfections (decoherence, lossy swaps, storage delay) erode the
+count-level story?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.network.demand import RequestSequence
+from repro.network.link import GenerationLink
+from repro.network.node import QuantumNode
+from repro.network.topology import Topology
+from repro.quantum.bell_pair import BellPair
+from repro.quantum.decoherence import CutoffPolicy, DecoherenceModel, NoDecoherence
+from repro.quantum.fidelity import teleportation_fidelity
+from repro.quantum.swap import SwapPhysics
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventType, SimEvent
+from repro.sim.metrics import MetricRegistry
+from repro.sim.rng import RandomStreams
+
+NodeId = Hashable
+
+
+@dataclass
+class EntitySimulationResult:
+    """Outcome of one entity-level run."""
+
+    rounds: int
+    swaps_attempted: int
+    swaps_failed: int
+    pairs_generated: int
+    pairs_expired: int
+    requests_total: int
+    requests_satisfied: int
+    delivered_fidelities: List[float] = field(default_factory=list)
+    end_time: float = 0.0
+
+    @property
+    def all_requests_satisfied(self) -> bool:
+        return self.requests_satisfied >= self.requests_total
+
+    def mean_delivered_fidelity(self) -> float:
+        if not self.delivered_fidelities:
+            return float("nan")
+        return sum(self.delivered_fidelities) / len(self.delivered_fidelities)
+
+    def swap_failure_rate(self) -> float:
+        if self.swaps_attempted == 0:
+            return 0.0
+        return self.swaps_failed / self.swaps_attempted
+
+
+class EntityLevelSimulation:
+    """Discrete-event simulation of the balancing protocol with physical pairs.
+
+    Parameters
+    ----------
+    topology:
+        The generation graph; each edge becomes a :class:`GenerationLink`.
+    requests:
+        Ordered consumption (teleportation) request sequence.
+    elementary_fidelity:
+        Werner fidelity of freshly generated pairs.
+    decoherence:
+        Memory decoherence model shared by all nodes.
+    cutoff:
+        Transport-layer cleansing policy (drop pairs older than a cutoff).
+    swap_physics:
+        Success/quality model for Bell-state measurements.
+    fidelity_threshold:
+        A consumption is only served by a pair whose *current* fidelity is at
+        least this value (the entity-level analogue of the distillation
+        target).
+    balancing_interval:
+        Simulated time between balancing rounds.
+    generation_interval:
+        Simulated time between generation attempts on every link.
+    max_time:
+        Hard stop for the simulation clock.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        requests: RequestSequence,
+        elementary_fidelity: float = 0.98,
+        decoherence: Optional[DecoherenceModel] = None,
+        cutoff: Optional[CutoffPolicy] = None,
+        swap_physics: Optional[SwapPhysics] = None,
+        fidelity_threshold: float = 0.8,
+        balancing_interval: float = 1.0,
+        generation_interval: float = 1.0,
+        max_time: float = 2000.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if not 0.25 <= fidelity_threshold <= 1.0:
+            raise ValueError(f"fidelity_threshold must be within [0.25, 1], got {fidelity_threshold}")
+        if balancing_interval <= 0 or generation_interval <= 0:
+            raise ValueError("balancing_interval and generation_interval must be positive")
+        if max_time <= 0:
+            raise ValueError(f"max_time must be positive, got {max_time}")
+
+        self.topology = topology
+        self.requests = requests
+        self.decoherence = decoherence if decoherence is not None else NoDecoherence()
+        self.cutoff = cutoff if cutoff is not None else CutoffPolicy()
+        self.physics = swap_physics if swap_physics is not None else SwapPhysics()
+        self.fidelity_threshold = fidelity_threshold
+        self.balancing_interval = balancing_interval
+        self.generation_interval = generation_interval
+        self.max_time = max_time
+        self.streams = streams if streams is not None else RandomStreams(0)
+
+        self.engine = SimulationEngine(metrics=MetricRegistry())
+        self.nodes: Dict[NodeId, QuantumNode] = {
+            node: QuantumNode(node, decoherence=self.decoherence, cutoff=self.cutoff)
+            for node in topology.nodes
+        }
+        self.links = [
+            GenerationLink(edge[0], edge[1], elementary_fidelity=elementary_fidelity)
+            for edge in topology.edges()
+        ]
+        self.ledger = PairCountLedger(topology.nodes)
+        self.balancer = MaxMinBalancer(
+            self.ledger,
+            overheads=1.0,
+            rng=self.streams.get("balancer"),
+            keep_records=False,
+        )
+
+        self.swaps_attempted = 0
+        self.swaps_failed = 0
+        self.pairs_generated = 0
+        self.pairs_expired = 0
+        self.delivered_fidelities: List[float] = []
+        self.rounds = 0
+
+        self.engine.register(EventType.GENERATION, self._on_generation)
+        self.engine.register(EventType.TIMER, self._on_timer)
+
+    # ------------------------------------------------------------------ #
+    # Entity bookkeeping
+    # ------------------------------------------------------------------ #
+    def _store_pair(self, pair: BellPair, now: float) -> None:
+        self.nodes[pair.node_a].store_pair(pair, now=now)
+        self.nodes[pair.node_b].store_pair(pair, now=now)
+        self.ledger.add(pair.node_a, pair.node_b, 1)
+
+    def _remove_pair(self, pair: BellPair) -> None:
+        self.nodes[pair.node_a].release_pair(pair.pair_id)
+        self.nodes[pair.node_b].release_pair(pair.pair_id)
+        self.ledger.remove(pair.node_a, pair.node_b, 1)
+
+    def _current_fidelity(self, pair: BellPair, now: float) -> float:
+        return self.decoherence.fidelity_after(pair.fidelity, now - pair.created_at)
+
+    # ------------------------------------------------------------------ #
+    # Event handlers
+    # ------------------------------------------------------------------ #
+    def _on_generation(self, event: SimEvent) -> None:
+        now = event.time
+        rng = self.streams.get("generation")
+        for link in self.links:
+            pair = link.generate(now, rng=rng)
+            if pair is not None:
+                self._store_pair(pair, now)
+                self.pairs_generated += 1
+        if not self.requests.all_satisfied and now + self.generation_interval <= self.max_time:
+            self.engine.schedule(self.generation_interval, EventType.GENERATION)
+
+    def _on_timer(self, event: SimEvent) -> None:
+        now = event.time
+        self._expire_stale_pairs(now)
+        self._balancing_round(now)
+        self._serve_requests(now)
+        self.rounds += 1
+        if self.requests.all_satisfied:
+            self.engine.stop()
+        elif now + self.balancing_interval <= self.max_time:
+            self.engine.schedule(self.balancing_interval, EventType.TIMER, payload={"name": "round"})
+
+    def _expire_stale_pairs(self, now: float) -> None:
+        for node in self.nodes.values():
+            for pair in node.memory.pairs():
+                age = pair.age(now)
+                too_old = self.cutoff.should_discard(age)
+                too_decayed = self._current_fidelity(pair, now) < 0.5
+                if too_old or too_decayed:
+                    self._remove_pair(pair)
+                    self.pairs_expired += 1
+
+    def _balancing_round(self, now: float) -> None:
+        """One max-min balancing pass, executed on physical pairs."""
+        for node_id in self.topology.nodes:
+            candidates = self.balancer.preferable_candidates(node_id)
+            choice = self.balancer.policy.choose(candidates, self.balancer.rng)
+            if choice is None:
+                continue
+            node = self.nodes[node_id]
+            pair_left = node.oldest_pair_with(choice.left)
+            pair_right = node.oldest_pair_with(choice.right)
+            if pair_left is None or pair_right is None:
+                continue
+            # Remove the inputs from both endpoints' memories (and the ledger)
+            # before the measurement: they are consumed regardless of success.
+            left_fidelity = self._current_fidelity(pair_left, now)
+            right_fidelity = self._current_fidelity(pair_right, now)
+            self._remove_pair(pair_left)
+            self._remove_pair(pair_right)
+            self.swaps_attempted += 1
+            node.record_swap()
+
+            outcome = self.physics.attempt(
+                node_id,
+                BellPair(node_a=pair_left.node_a, node_b=pair_left.node_b, fidelity=max(left_fidelity, 0.25)),
+                BellPair(node_a=pair_right.node_a, node_b=pair_right.node_b, fidelity=max(right_fidelity, 0.25)),
+                now=now,
+                rng=self.streams.get("swap-physics"),
+            )
+            if not outcome.success or outcome.produced is None:
+                self.swaps_failed += 1
+                continue
+            self._store_pair(outcome.produced, now)
+
+    def _serve_requests(self, now: float) -> None:
+        while True:
+            head = self.requests.head()
+            if head is None:
+                return
+            self.requests.note_head_issued(self.rounds)
+            node_a, node_b = head.pair
+            candidate = self._best_pair_between(node_a, node_b, now)
+            if candidate is None:
+                return
+            fidelity_now = self._current_fidelity(candidate, now)
+            self._remove_pair(candidate)
+            self.delivered_fidelities.append(teleportation_fidelity(max(fidelity_now, 0.25)))
+            self.requests.mark_head_satisfied(self.rounds)
+
+    def _best_pair_between(self, node_a: NodeId, node_b: NodeId, now: float) -> Optional[BellPair]:
+        """The freshest pair between the endpoints meeting the fidelity threshold."""
+        best: Optional[BellPair] = None
+        best_fidelity = self.fidelity_threshold
+        for pair in self.nodes[node_a].memory.pairs_with(node_b):
+            fidelity_now = self._current_fidelity(pair, now)
+            if fidelity_now >= best_fidelity:
+                best = pair
+                best_fidelity = fidelity_now
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Run
+    # ------------------------------------------------------------------ #
+    def run(self) -> EntitySimulationResult:
+        """Run until the request sequence completes or ``max_time`` is reached."""
+        self.engine.schedule(0.0, EventType.GENERATION)
+        self.engine.schedule(self.balancing_interval, EventType.TIMER, payload={"name": "round"})
+        end_time = self.engine.run(until=self.max_time)
+        return EntitySimulationResult(
+            rounds=self.rounds,
+            swaps_attempted=self.swaps_attempted,
+            swaps_failed=self.swaps_failed,
+            pairs_generated=self.pairs_generated,
+            pairs_expired=self.pairs_expired,
+            requests_total=len(self.requests),
+            requests_satisfied=self.requests.satisfied_count,
+            delivered_fidelities=list(self.delivered_fidelities),
+            end_time=end_time,
+        )

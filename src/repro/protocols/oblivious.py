@@ -1,0 +1,132 @@
+"""The path-oblivious protocol runner (paper, Sections 4-5).
+
+Each round:
+
+1. every generation edge adds its new elementary pairs to the ledger,
+2. every node takes a balancing turn (up to ``swaps_per_node_per_round``
+   preferable swaps chosen by the configured policy / knowledge model),
+3. the head-of-line consumption requests are served whenever the ledger
+   holds at least ``D`` pairs between the requesting endpoints; when the
+   hybrid fallback (§6) is enabled and the head request cannot be served
+   directly, a targeted chain of swaps over the current entanglement graph
+   is attempted first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Union
+
+from repro.core.hybrid import HybridPlanner
+from repro.core.lp.extensions import PairOverheads
+from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.knowledge import GlobalKnowledge, KnowledgeModel
+from repro.core.maxmin.policy import BalancingPolicy
+from repro.network.demand import ConsumptionRequest, RequestSequence
+from repro.network.generation import GenerationProcess
+from repro.network.topology import Topology
+from repro.protocols.base import SwappingProtocol
+from repro.sim.rng import RandomStreams
+
+NodeId = Hashable
+
+
+class PathObliviousProtocol(SwappingProtocol):
+    """The max-min balancing protocol, optionally with the hybrid fallback.
+
+    Parameters beyond :class:`~repro.protocols.base.SwappingProtocol`:
+
+    policy, knowledge:
+        Candidate-selection policy and count-dissemination model for the
+        balancer (paper defaults when omitted).
+    swaps_per_node_per_round:
+        The per-node swap rate (the paper's "identical rate" knob).
+    use_hybrid_fallback:
+        Enable the Section 6 hybrid: when the head request cannot be served
+        from existing counts, attempt a targeted swap chain over the
+        current entanglement graph before giving up for the round.
+    hybrid_max_hops:
+        Longest entanglement-graph path the hybrid fallback will attempt.
+    """
+
+    name = "path-oblivious"
+
+    def __init__(
+        self,
+        topology: Topology,
+        requests: RequestSequence,
+        overheads: Union[PairOverheads, float] = 1.0,
+        generation: Optional[GenerationProcess] = None,
+        streams: Optional[RandomStreams] = None,
+        max_rounds: int = 50_000,
+        consumptions_per_round: Optional[int] = None,
+        policy: Optional[BalancingPolicy] = None,
+        knowledge: Optional[KnowledgeModel] = None,
+        swaps_per_node_per_round: int = 1,
+        use_hybrid_fallback: bool = False,
+        hybrid_max_hops: Optional[int] = 6,
+    ):
+        super().__init__(
+            topology=topology,
+            requests=requests,
+            overheads=overheads,
+            generation=generation,
+            streams=streams,
+            max_rounds=max_rounds,
+            consumptions_per_round=consumptions_per_round,
+        )
+        knowledge = (
+            knowledge
+            if knowledge is not None
+            else GlobalKnowledge(self.ledger, account_messages=True)
+        )
+        if knowledge.ledger is not self.ledger:
+            raise ValueError("the knowledge model must be built over this protocol's ledger")
+        self.balancer = MaxMinBalancer(
+            ledger=self.ledger,
+            overheads=self.overheads,
+            policy=policy,
+            knowledge=knowledge,
+            swaps_per_node_per_round=swaps_per_node_per_round,
+            rng=self.streams.get("balancer"),
+            keep_records=False,
+        )
+        self.use_hybrid_fallback = use_hybrid_fallback
+        self.hybrid = (
+            HybridPlanner(self.ledger, overheads=self.overheads, max_path_hops=hybrid_max_hops)
+            if use_hybrid_fallback
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+    def _action_phase(self, round_index: int) -> Optional[bool]:
+        self.balancer.run_round(round_index)
+        return None
+
+    def _try_serve_head(self, request: ConsumptionRequest, round_index: int) -> bool:
+        node_a, node_b = request.pair
+        if self.balancer.can_consume(node_a, node_b):
+            self.pairs_consumed += self.balancer.consume(node_a, node_b)
+            return True
+        if self.hybrid is not None:
+            records = self.hybrid.try_satisfy(node_a, node_b, round_index)
+            if records is not None and self.balancer.can_consume(node_a, node_b):
+                self.pairs_consumed += self.balancer.consume(node_a, node_b)
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def swaps_performed(self) -> int:
+        total = self.balancer.swaps_performed
+        if self.hybrid is not None:
+            total += self.hybrid.swaps_performed
+        return total
+
+    def swaps_by_node(self) -> Dict[NodeId, int]:
+        return dict(self.balancer.swaps_by_node)
+
+    def classical_overhead(self) -> Dict[str, int]:
+        return self.balancer.knowledge.classical_overhead()

@@ -1,0 +1,11 @@
+"""Planned-path baseline protocols (paper, Section 1 related-work taxonomy)."""
+
+from repro.protocols.planned.connection_oriented import ConnectionOrientedProtocol
+from repro.protocols.planned.connectionless import ConnectionlessProtocol
+from repro.protocols.planned.ondemand import OnDemandProtocol
+
+__all__ = [
+    "ConnectionOrientedProtocol",
+    "ConnectionlessProtocol",
+    "OnDemandProtocol",
+]

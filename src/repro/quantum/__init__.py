@@ -1,0 +1,102 @@
+"""Quantum substrate.
+
+The paper treats Bell pairs as interchangeable, countable resources with two
+quality parameters: a distillation overhead ``D`` and a loss/decoherence
+factor ``L``.  This package provides both that count-level abstraction and a
+physically grounded layer underneath it:
+
+* :mod:`repro.quantum.states` and :mod:`repro.quantum.gates` -- a small
+  density-matrix simulator used to *validate* the analytic formulas
+  (teleportation, swapping and purification circuits are executed on real
+  density matrices in the test suite).
+* :mod:`repro.quantum.fidelity` -- Werner-state fidelity algebra: swap
+  composition, depolarising decay, teleportation fidelity.
+* :mod:`repro.quantum.bell_pair` / :mod:`repro.quantum.memory` -- the Bell
+  pair entity and per-node quantum memory used by the entity-level
+  simulations.
+* :mod:`repro.quantum.distillation` -- BBPSSW and DEJMPS purification, plus
+  the expected-cost model that produces the paper's ``D`` parameter.
+* :mod:`repro.quantum.qec` -- the quantum-error-correction overhead model
+  (rate ``R`` thinning of generation) of Section 3.2.
+* :mod:`repro.quantum.decoherence` -- memory decoherence models producing
+  the loss factor ``L`` of Section 3.2.
+* :mod:`repro.quantum.swap` / :mod:`repro.quantum.teleportation` -- the two
+  operations the network exists to support.
+"""
+
+from repro.quantum.bell_pair import BellPair, PairId, pair_key
+from repro.quantum.decoherence import (
+    CutoffPolicy,
+    DecoherenceModel,
+    ExponentialDecoherence,
+    NoDecoherence,
+    survival_probability,
+)
+from repro.quantum.distillation import (
+    DistillationProtocol,
+    bbpssw_output_fidelity,
+    bbpssw_success_probability,
+    dejmps_round,
+    distillation_overhead,
+    expected_pairs_for_target,
+    rounds_to_target_fidelity,
+)
+from repro.quantum.fidelity import (
+    WERNER_MINIMUM_USEFUL_FIDELITY,
+    WernerState,
+    depolarize,
+    swap_fidelity,
+    teleportation_fidelity,
+    werner_from_fidelity,
+)
+from repro.quantum.gates import CNOT, CZ, HADAMARD, IDENTITY, PAULI_X, PAULI_Y, PAULI_Z
+from repro.quantum.memory import MemoryFullError, QuantumMemory, StoredQubit
+from repro.quantum.qec import QECCode, apply_qec_thinning, surface_code_overhead
+from repro.quantum.states import DensityMatrix, bell_state, fidelity as state_fidelity
+from repro.quantum.swap import SwapOutcome, SwapPhysics
+from repro.quantum.teleportation import TeleportationOutcome, teleport, teleportation_circuit_fidelity
+
+__all__ = [
+    "BellPair",
+    "CNOT",
+    "CZ",
+    "CutoffPolicy",
+    "DecoherenceModel",
+    "DensityMatrix",
+    "DistillationProtocol",
+    "ExponentialDecoherence",
+    "HADAMARD",
+    "IDENTITY",
+    "MemoryFullError",
+    "NoDecoherence",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "PairId",
+    "QECCode",
+    "QuantumMemory",
+    "StoredQubit",
+    "SwapOutcome",
+    "SwapPhysics",
+    "TeleportationOutcome",
+    "WERNER_MINIMUM_USEFUL_FIDELITY",
+    "WernerState",
+    "apply_qec_thinning",
+    "bbpssw_output_fidelity",
+    "bbpssw_success_probability",
+    "bell_state",
+    "dejmps_round",
+    "depolarize",
+    "distillation_overhead",
+    "expected_pairs_for_target",
+    "pair_key",
+    "rounds_to_target_fidelity",
+    "state_fidelity",
+    "surface_code_overhead",
+    "survival_probability",
+    "swap_fidelity",
+    "teleport",
+    "teleportation_circuit_fidelity",
+    "teleportation_fidelity",
+    "werner_from_fidelity",
+]

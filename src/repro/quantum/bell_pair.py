@@ -1,0 +1,127 @@
+"""Bell-pair entities.
+
+The paper's key observation is that Bell pairs are *interchangeable*: any
+pair whose qubits sit at nodes ``x`` and ``y`` is, for networking purposes,
+identical to any other ``[x, y]`` pair.  The :func:`pair_key` helper encodes
+that canonicalisation (unordered node pair), while :class:`BellPair` carries
+the per-instance attributes the entity-level simulations need (creation
+time, fidelity, provenance).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+from repro.quantum.fidelity import WernerState, decohered_fidelity
+
+NodeId = Hashable
+PairId = int
+
+_PAIR_COUNTER = itertools.count(1)
+
+
+def pair_key(node_a: NodeId, node_b: NodeId) -> Tuple[NodeId, NodeId]:
+    """Canonical unordered key for the pair of nodes ``{node_a, node_b}``.
+
+    The paper writes this as ``[N1, N2]``.  Keys sort the two endpoints so
+    ``pair_key(a, b) == pair_key(b, a)``, and reject degenerate pairs since
+    a Bell pair entangled "with itself" at one node is useless (the paper
+    sets ``g(x, x) = c(x, x) = 0`` and ``sigma_i(x, i) = 0``).
+    """
+    if node_a == node_b:
+        raise ValueError(f"a Bell pair must span two distinct nodes, got {node_a!r} twice")
+    first, second = sorted((node_a, node_b), key=repr)
+    return (first, second)
+
+
+@dataclass
+class BellPair:
+    """One entangled Bell pair whose qubits reside at ``node_a`` and ``node_b``.
+
+    Attributes
+    ----------
+    node_a, node_b:
+        The two nodes holding the qubit halves.
+    fidelity:
+        Werner fidelity at ``created_at`` (before any storage decay).
+    created_at:
+        Simulated time of creation.
+    pair_id:
+        Unique id (per-process monotonically increasing).
+    provenance:
+        ``"generation"`` for elementary pairs, ``"swap"`` for pairs produced
+        by a swap, ``"distillation"`` for survivors of purification.
+    swap_depth:
+        Number of swap operations in this pair's history (0 for elementary
+        pairs); used by analyses of how far pairs have travelled.
+    """
+
+    node_a: NodeId
+    node_b: NodeId
+    fidelity: float = 1.0
+    created_at: float = 0.0
+    pair_id: PairId = field(default_factory=lambda: next(_PAIR_COUNTER))
+    provenance: str = "generation"
+    swap_depth: int = 0
+    consumed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError("a Bell pair must span two distinct nodes")
+        if not 0.25 <= self.fidelity <= 1.0 + 1e-12:
+            raise ValueError(f"fidelity must be within [0.25, 1], got {self.fidelity}")
+
+    @property
+    def key(self) -> Tuple[NodeId, NodeId]:
+        """Canonical unordered endpoint key (see :func:`pair_key`)."""
+        return pair_key(self.node_a, self.node_b)
+
+    def involves(self, node: NodeId) -> bool:
+        """Whether ``node`` holds one half of this pair."""
+        return node == self.node_a or node == self.node_b
+
+    def other_end(self, node: NodeId) -> NodeId:
+        """The endpoint opposite ``node``."""
+        if node == self.node_a:
+            return self.node_b
+        if node == self.node_b:
+            return self.node_a
+        raise ValueError(f"node {node!r} does not hold a qubit of pair {self.pair_id}")
+
+    def werner_state(self) -> WernerState:
+        """The pair's quality as a :class:`~repro.quantum.fidelity.WernerState`."""
+        return WernerState(self.fidelity)
+
+    def fidelity_at(self, time: float, coherence_time: Optional[float]) -> float:
+        """Fidelity after storage until ``time`` under exponential memory decay.
+
+        ``coherence_time=None`` models the paper's long-lived-memory
+        assumption (no decay).
+        """
+        if time < self.created_at:
+            raise ValueError(
+                f"cannot evaluate fidelity at {time}, before creation time {self.created_at}"
+            )
+        if coherence_time is None:
+            return self.fidelity
+        return decohered_fidelity(self.fidelity, time - self.created_at, coherence_time)
+
+    def age(self, now: float) -> float:
+        """Storage age of the pair at simulated time ``now``."""
+        if now < self.created_at:
+            raise ValueError(f"now={now} is before the pair's creation time {self.created_at}")
+        return now - self.created_at
+
+    def mark_consumed(self) -> None:
+        """Flag the pair as consumed; consuming twice is a protocol bug."""
+        if self.consumed:
+            raise ValueError(f"Bell pair {self.pair_id} was already consumed")
+        self.consumed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BellPair(id={self.pair_id}, key={self.key}, F={self.fidelity:.3f}, "
+            f"depth={self.swap_depth}, provenance={self.provenance})"
+        )

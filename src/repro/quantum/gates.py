@@ -1,0 +1,69 @@
+"""Standard single- and two-qubit gate matrices.
+
+These constants feed the density-matrix micro-simulator in
+:mod:`repro.quantum.states`.  Only the gates needed for Bell-pair creation,
+entanglement swapping, teleportation and purification circuits are defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2x2 identity.
+IDENTITY = np.eye(2, dtype=complex)
+
+#: Pauli X (bit flip).
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+#: Pauli Y.
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+#: Pauli Z (phase flip).
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+#: Hadamard gate.
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+
+#: Controlled-NOT with qubit 0 as control, qubit 1 as target (in a 2-qubit space).
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+
+#: Controlled-Z (symmetric in control/target).
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+
+#: Phase gate S.
+PHASE_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+
+#: pi/8 gate T.
+PHASE_T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+
+
+def rotation_x(theta: float) -> np.ndarray:
+    """Rotation about the X axis by angle ``theta``."""
+    return np.cos(theta / 2) * IDENTITY - 1j * np.sin(theta / 2) * PAULI_X
+
+
+def rotation_y(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by angle ``theta``."""
+    return np.cos(theta / 2) * IDENTITY - 1j * np.sin(theta / 2) * PAULI_Y
+
+
+def rotation_z(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by angle ``theta``."""
+    return np.cos(theta / 2) * IDENTITY - 1j * np.sin(theta / 2) * PAULI_Z
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Return ``True`` when ``matrix`` is unitary within tolerance ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    product = matrix @ matrix.conj().T
+    return bool(np.allclose(product, np.eye(matrix.shape[0]), atol=atol))

@@ -1,0 +1,183 @@
+"""Per-node quantum memory.
+
+The LP formulation assumes limitless buffers; real repeaters have a finite
+number of memory slots and a decoherence process.  :class:`QuantumMemory`
+models both so the entity-level simulations and the ablation experiments can
+quantify how far practice sits from the idealised analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.quantum.bell_pair import BellPair, NodeId, pair_key
+from repro.quantum.decoherence import CutoffPolicy, DecoherenceModel, NoDecoherence
+
+
+class MemoryFullError(RuntimeError):
+    """Raised when a qubit half cannot be stored because every slot is occupied."""
+
+
+@dataclass(frozen=True)
+class StoredQubit:
+    """One memory slot: this node's half of a Bell pair plus when it was stored."""
+
+    pair: BellPair
+    stored_at: float
+
+    def partner_of(self, owner: NodeId) -> NodeId:
+        """The remote node holding the other half, from ``owner``'s perspective."""
+        return self.pair.other_end(owner)
+
+
+class QuantumMemory:
+    """A node's quantum memory: a bounded set of Bell-pair halves.
+
+    Parameters
+    ----------
+    owner:
+        The node this memory belongs to.
+    capacity:
+        Maximum number of stored qubit halves (``None`` = unbounded, the
+        paper's idealisation).
+    decoherence:
+        Decoherence model used to age stored pairs.
+    cutoff:
+        Optional transport-layer cleansing policy (paper §6) discarding
+        pairs older than a threshold.
+    """
+
+    def __init__(
+        self,
+        owner: NodeId,
+        capacity: Optional[int] = None,
+        decoherence: Optional[DecoherenceModel] = None,
+        cutoff: Optional[CutoffPolicy] = None,
+    ):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.owner = owner
+        self.capacity = capacity
+        self.decoherence = decoherence if decoherence is not None else NoDecoherence()
+        self.cutoff = cutoff if cutoff is not None else CutoffPolicy()
+        self._pairs: Dict[int, BellPair] = {}
+        self._stored_at: Dict[int, float] = {}
+        self.discarded_by_cutoff = 0
+        self.discarded_by_decoherence = 0
+
+    # ------------------------------------------------------------------ #
+    # Storage
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._pairs) >= self.capacity
+
+    def store(self, pair: BellPair, now: float = 0.0) -> None:
+        """Store this node's half of ``pair``.
+
+        Raises
+        ------
+        MemoryFullError
+            When the memory has no free slot.
+        ValueError
+            When the pair does not involve the owner or is already stored.
+        """
+        if not pair.involves(self.owner):
+            raise ValueError(f"pair {pair.key} has no qubit at node {self.owner!r}")
+        if pair.pair_id in self._pairs:
+            raise ValueError(f"pair {pair.pair_id} is already stored at {self.owner!r}")
+        if self.is_full:
+            raise MemoryFullError(
+                f"memory at {self.owner!r} is full (capacity={self.capacity})"
+            )
+        self._pairs[pair.pair_id] = pair
+        self._stored_at[pair.pair_id] = now
+
+    def release(self, pair_id: int) -> BellPair:
+        """Remove and return the stored pair with id ``pair_id``."""
+        if pair_id not in self._pairs:
+            raise KeyError(f"pair {pair_id} is not stored at {self.owner!r}")
+        self._stored_at.pop(pair_id, None)
+        return self._pairs.pop(pair_id)
+
+    def contains(self, pair_id: int) -> bool:
+        return pair_id in self._pairs
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def pairs(self) -> List[BellPair]:
+        """All stored pairs (a copy of the internal list)."""
+        return list(self._pairs.values())
+
+    def pairs_with(self, partner: NodeId) -> List[BellPair]:
+        """Stored pairs whose far end is ``partner``, oldest first."""
+        matching = [
+            pair for pair in self._pairs.values() if pair.other_end(self.owner) == partner
+        ]
+        return sorted(matching, key=lambda pair: (self._stored_at[pair.pair_id], pair.pair_id))
+
+    def count_with(self, partner: NodeId) -> int:
+        """The paper's ``C_x(y)``: how many pairs this node shares with ``partner``."""
+        return sum(1 for pair in self._pairs.values() if pair.other_end(self.owner) == partner)
+
+    def partners(self) -> Dict[NodeId, int]:
+        """All current entanglement partners and the pair count for each."""
+        counts: Dict[NodeId, int] = {}
+        for pair in self._pairs.values():
+            partner = pair.other_end(self.owner)
+            counts[partner] = counts.get(partner, 0) + 1
+        return counts
+
+    def oldest_with(self, partner: NodeId) -> Optional[BellPair]:
+        """The oldest stored pair shared with ``partner`` (FIFO use policy)."""
+        candidates = self.pairs_with(partner)
+        return candidates[0] if candidates else None
+
+    def current_fidelity(self, pair_id: int, now: float) -> float:
+        """Fidelity of a stored pair right now, accounting for storage decay."""
+        if pair_id not in self._pairs:
+            raise KeyError(f"pair {pair_id} is not stored at {self.owner!r}")
+        pair = self._pairs[pair_id]
+        elapsed = now - self._stored_at[pair_id]
+        return self.decoherence.fidelity_after(pair.fidelity, elapsed)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def expire(self, now: float, fidelity_floor: float = 0.5) -> List[BellPair]:
+        """Discard pairs that violate the cutoff policy or fell below ``fidelity_floor``.
+
+        Returns the list of discarded pairs so the caller (the protocol) can
+        notify the far end -- keeping the distributed counts ``C_x(y)``
+        consistent is the protocol's job, not the memory's.
+        """
+        discarded: List[BellPair] = []
+        for pair_id in list(self._pairs):
+            stored_at = self._stored_at[pair_id]
+            age = now - stored_at
+            pair = self._pairs[pair_id]
+            if self.cutoff.should_discard(age):
+                discarded.append(self.release(pair_id))
+                self.discarded_by_cutoff += 1
+                continue
+            if self.decoherence.fidelity_after(pair.fidelity, age) < fidelity_floor:
+                discarded.append(self.release(pair_id))
+                self.discarded_by_decoherence += 1
+        return discarded
+
+    def utilisation(self) -> float:
+        """Fraction of capacity in use (0.0 when unbounded)."""
+        if self.capacity is None:
+            return 0.0
+        return len(self._pairs) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumMemory(owner={self.owner!r}, stored={len(self._pairs)}, "
+            f"capacity={self.capacity})"
+        )

@@ -1,0 +1,128 @@
+"""Entanglement swapping.
+
+A swap at repeater ``i`` (written ``x <- i -> y`` in the paper) consumes one
+``[x, i]`` pair and one ``[i, y]`` pair and produces one ``[x, y]`` pair,
+after a Bell-state measurement at ``i`` and a 2-bit classical message that
+lets ``x`` or ``y`` apply the Pauli correction.
+
+:class:`SwapPhysics` centralises the quality model: output fidelity
+(Werner composition, optionally degraded by imperfect measurements) and
+success probability (linear-optics Bell measurements succeed only half the
+time; deterministic measurements always succeed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.quantum.bell_pair import BellPair, NodeId
+from repro.quantum.fidelity import depolarize, swap_fidelity
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """The result of attempting one entanglement swap."""
+
+    success: bool
+    produced: Optional[BellPair]
+    repeater: NodeId
+    consumed_ids: Tuple[int, int]
+    classical_bits: Tuple[int, int]
+
+
+class SwapPhysics:
+    """Quality and success model for entanglement swaps.
+
+    Parameters
+    ----------
+    measurement_efficiency:
+        Probability that the Bell-state measurement at the repeater succeeds
+        (1.0 for deterministic matter-qubit measurements, 0.5 for standard
+        linear-optics BSMs).
+    gate_fidelity:
+        Depolarising weight applied to the output pair to model imperfect
+        local operations at the repeater (1.0 = perfect gates).
+    """
+
+    def __init__(self, measurement_efficiency: float = 1.0, gate_fidelity: float = 1.0):
+        if not 0.0 < measurement_efficiency <= 1.0:
+            raise ValueError(
+                f"measurement_efficiency must be in (0, 1], got {measurement_efficiency}"
+            )
+        if not 0.0 < gate_fidelity <= 1.0:
+            raise ValueError(f"gate_fidelity must be in (0, 1], got {gate_fidelity}")
+        self.measurement_efficiency = measurement_efficiency
+        self.gate_fidelity = gate_fidelity
+
+    def output_fidelity(self, fidelity_a: float, fidelity_b: float) -> float:
+        """Fidelity of the output pair given the two input fidelities."""
+        ideal = swap_fidelity(fidelity_a, fidelity_b)
+        return depolarize(ideal, self.gate_fidelity)
+
+    def attempt(
+        self,
+        repeater: NodeId,
+        pair_a: BellPair,
+        pair_b: BellPair,
+        now: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> SwapOutcome:
+        """Attempt the swap ``other(pair_a) <- repeater -> other(pair_b)``.
+
+        Both input pairs are consumed regardless of success (a failed
+        linear-optics Bell measurement still destroys the photons), which is
+        why lossy swapping hardware makes planned-path reservations so
+        expensive -- one of the motivations discussed in Section 2.
+        """
+        if not pair_a.involves(repeater) or not pair_b.involves(repeater):
+            raise ValueError(
+                f"both pairs must have one qubit at the repeater {repeater!r}; "
+                f"got {pair_a.key} and {pair_b.key}"
+            )
+        if pair_a.pair_id == pair_b.pair_id:
+            raise ValueError("cannot swap a Bell pair with itself")
+        end_a = pair_a.other_end(repeater)
+        end_b = pair_b.other_end(repeater)
+        if end_a == end_b:
+            raise ValueError(
+                f"swap at {repeater!r} would produce a degenerate pair at {end_a!r}; "
+                "the balancer must never select such a candidate"
+            )
+        pair_a.mark_consumed()
+        pair_b.mark_consumed()
+
+        generator = rng if rng is not None else np.random.default_rng()
+        classical_bits = (int(generator.integers(0, 2)), int(generator.integers(0, 2)))
+        if generator.random() > self.measurement_efficiency:
+            return SwapOutcome(
+                success=False,
+                produced=None,
+                repeater=repeater,
+                consumed_ids=(pair_a.pair_id, pair_b.pair_id),
+                classical_bits=classical_bits,
+            )
+
+        produced = BellPair(
+            node_a=end_a,
+            node_b=end_b,
+            fidelity=self.output_fidelity(pair_a.fidelity, pair_b.fidelity),
+            created_at=now,
+            provenance="swap",
+            swap_depth=max(pair_a.swap_depth, pair_b.swap_depth) + 1,
+        )
+        return SwapOutcome(
+            success=True,
+            produced=produced,
+            repeater=repeater,
+            consumed_ids=(pair_a.pair_id, pair_b.pair_id),
+            classical_bits=classical_bits,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwapPhysics(measurement_efficiency={self.measurement_efficiency}, "
+            f"gate_fidelity={self.gate_fidelity})"
+        )

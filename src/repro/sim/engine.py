@@ -1,0 +1,197 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small and dependency-free: a binary-heap event
+queue, a handler registry keyed by :class:`~repro.sim.events.EventType`, a
+shared :class:`~repro.sim.clock.SimulationClock` and optional metric/trace
+sinks.  Protocol implementations (``repro.protocols``) register handlers and
+schedule events; the engine owns time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.clock import SimulationClock
+from repro.sim.events import EventType, SimEvent
+from repro.sim.metrics import MetricRegistry
+from repro.sim.tracing import TraceRecorder
+
+# Backwards-compatible aliases used throughout the code base.
+Event = SimEvent
+EventHandler = Callable[[SimEvent], None]
+
+
+class StopSimulation(Exception):
+    """Raised by a handler to stop the simulation immediately."""
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`SimEvent` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[SimEvent] = []
+
+    def push(self, event: SimEvent) -> SimEvent:
+        """Insert ``event`` and return it (handy for later cancellation)."""
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> SimEvent:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises
+        ------
+        IndexError
+            If the queue holds no non-cancelled events.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise IndexError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class SimulationEngine:
+    """Event loop driving the detailed (entity-level) simulations.
+
+    Parameters
+    ----------
+    metrics:
+        Optional shared metric registry; one is created if omitted.
+    trace:
+        Optional trace recorder.  When provided, every dispatched event is
+        appended to the trace, which the analysis layer can replay.
+    max_events:
+        Safety valve: the run aborts with :class:`RuntimeError` if more than
+        this many events are dispatched (guards against runaway reschedule
+        loops in protocol code).
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        max_events: int = 10_000_000,
+    ) -> None:
+        self.clock = SimulationClock()
+        self.queue = EventQueue()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.trace = trace
+        self.max_events = int(max_events)
+        self._handlers: Dict[EventType, List[EventHandler]] = {}
+        self._dispatched = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Handler registration and scheduling
+    # ------------------------------------------------------------------ #
+    def register(self, event_type: EventType, handler: EventHandler) -> None:
+        """Register ``handler`` to be invoked for every event of ``event_type``."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def unregister(self, event_type: EventType, handler: EventHandler) -> None:
+        """Remove a previously registered handler (no-op if absent)."""
+        handlers = self._handlers.get(event_type, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def schedule(
+        self,
+        delay: float,
+        event_type: EventType,
+        payload: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> SimEvent:
+        """Schedule an event ``delay`` time units in the future."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = SimEvent(
+            time=self.clock.now + delay,
+            event_type=event_type,
+            payload=dict(payload or {}),
+            priority=priority,
+        )
+        return self.queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        event_type: EventType,
+        payload: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> SimEvent:
+        """Schedule an event at an absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule at {time}, which is before the current time {self.clock.now}"
+            )
+        event = SimEvent(
+            time=time, event_type=event_type, payload=dict(payload or {}), priority=priority
+        )
+        return self.queue.push(event)
+
+    def stop(self) -> None:
+        """Request that the run loop exit after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def dispatched_events(self) -> int:
+        """How many events have been dispatched so far."""
+        return self._dispatched
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or a handler stops the run.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run ended.
+        """
+        self._stopped = False
+        while not self._stopped:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            self._dispatch(event)
+            if event.event_type is EventType.END_OF_SIMULATION:
+                break
+        return self.clock.now
+
+    def _dispatch(self, event: SimEvent) -> None:
+        self._dispatched += 1
+        if self._dispatched > self.max_events:
+            raise RuntimeError(
+                f"simulation exceeded max_events={self.max_events}; "
+                "likely a handler is rescheduling itself unconditionally"
+            )
+        if self.trace is not None:
+            self.trace.record(event.time, event.event_type.value, dict(event.payload))
+        for handler in list(self._handlers.get(event.event_type, [])):
+            try:
+                handler(event)
+            except StopSimulation:
+                self._stopped = True
+                return

@@ -1,0 +1,93 @@
+"""Structured trace recording.
+
+A trace is an append-only list of ``(time, kind, payload)`` records.  The
+analysis layer uses traces to reconstruct what a protocol did (e.g. which
+swaps were performed, in which order, at which nodes) without the protocol
+having to anticipate every question an experiment might ask.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record in a trace."""
+
+    time: float
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialise the record as one JSON line."""
+        return json.dumps({"time": self.time, "kind": self.kind, **self.payload}, sort_keys=True)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    Parameters
+    ----------
+    enabled:
+        Recording can be switched off wholesale for large parameter sweeps
+        where only the aggregate metrics matter.
+    capacity:
+        Optional cap on the number of retained records; the oldest records
+        are dropped once the cap is exceeded (the drop count is tracked).
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, kind: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Append one record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(time=time, kind=kind, payload=dict(payload or {})))
+        if self.capacity is not None and len(self._events) > self.capacity:
+            overflow = len(self._events) - self.capacity
+            del self._events[:overflow]
+            self.dropped += overflow
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Return all records, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        """Return records matching an arbitrary predicate."""
+        return [event for event in self._events if predicate(event)]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        """How many records (optionally of one kind) have been retained."""
+        if kind is None:
+            return len(self._events)
+        return sum(1 for event in self._events if event.kind == kind)
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of record kinds."""
+        histogram: Dict[str, int] = {}
+        for event in self._events:
+            histogram[event.kind] = histogram.get(event.kind, 0) + 1
+        return histogram
+
+    def to_jsonl(self) -> str:
+        """Serialise the full trace as JSON lines."""
+        return "\n".join(event.to_json() for event in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

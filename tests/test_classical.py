@@ -1,0 +1,205 @@
+"""Tests for the classical control plane (messages, channels, dissemination)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classical.channel import ClassicalChannel, ClassicalNetwork
+from repro.classical.control_plane import FloodingControlPlane
+from repro.classical.gossip import ChokeUnchokeGossip
+from repro.classical.messages import (
+    ClassicalMessage,
+    CountVectorMessage,
+    MessageType,
+    SwapCorrectionMessage,
+    message_size_bits,
+)
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.network.topologies import cycle_topology
+
+
+class TestMessages:
+    def test_swap_correction_is_two_bits(self):
+        message = SwapCorrectionMessage(source=0, destination=1, bits=(1, 0)).to_message()
+        assert message.size_bits == 2
+        assert message.message_type is MessageType.SWAP_CORRECTION
+
+    def test_swap_correction_validates_bits(self):
+        with pytest.raises(ValueError):
+            SwapCorrectionMessage(source=0, destination=1, bits=(2, 0))
+
+    def test_count_vector_size_scales_with_entries(self):
+        small = CountVectorMessage(source=0, destination=1, counts={1: 2}).to_message()
+        large = CountVectorMessage(source=0, destination=1, counts={i: 1 for i in range(10)}).to_message()
+        assert large.size_bits == 10 * small.size_bits
+
+    def test_message_size_bits_types(self):
+        assert message_size_bits(MessageType.HERALD) == 1
+        assert message_size_bits(MessageType.TELEPORT_CORRECTION) == 2
+        assert message_size_bits(MessageType.PATH_RESERVATION, path_hops=3) == 3 * 16
+        with pytest.raises(ValueError):
+            message_size_bits(MessageType.COUNT_VECTOR, entries=-1)
+
+    def test_classical_message_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalMessage(MessageType.HERALD, 0, 1, size_bits=0)
+
+
+class TestClassicalChannel:
+    def test_transfer_time_latency_only(self):
+        channel = ClassicalChannel(0, 1, latency=2.0)
+        assert channel.transfer_time(100) == pytest.approx(2.0)
+
+    def test_transfer_time_with_bandwidth(self):
+        channel = ClassicalChannel(0, 1, latency=1.0, bandwidth_bits_per_round=50.0)
+        assert channel.transfer_time(100) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassicalChannel(0, 0)
+        with pytest.raises(ValueError):
+            ClassicalChannel(0, 1, latency=-1.0)
+        with pytest.raises(ValueError):
+            ClassicalChannel(0, 1).transfer_time(0)
+
+
+class TestClassicalNetwork:
+    def test_delivery_follows_shortest_path(self):
+        topology = cycle_topology(6)
+        network = ClassicalNetwork(topology, default_latency=1.0)
+        message = ClassicalMessage(MessageType.HERALD, 0, 3, size_bits=1)
+        latency, edges = network.deliver(message)
+        assert len(edges) == 3
+        assert latency == pytest.approx(3.0)
+        assert network.messages_delivered == 1
+        assert network.total_bits == 3
+
+    def test_per_edge_load_accumulates(self):
+        topology = cycle_topology(6)
+        network = ClassicalNetwork(topology)
+        for _ in range(3):
+            network.deliver(ClassicalMessage(MessageType.HERALD, 0, 1, size_bits=8))
+        busiest = network.busiest_edges(top=1)
+        assert busiest[0][1] == 24
+
+    def test_unroutable_message_rejected(self):
+        from repro.network.topology import Topology
+
+        topology = Topology("d", nodes=[0, 1, 2])
+        topology.add_edge(0, 1)
+        network = ClassicalNetwork(topology)
+        with pytest.raises(ValueError):
+            network.deliver(ClassicalMessage(MessageType.HERALD, 0, 2, size_bits=1))
+
+    def test_set_channel_overrides_latency(self):
+        topology = cycle_topology(6)
+        network = ClassicalNetwork(topology, default_latency=1.0)
+        network.set_channel(ClassicalChannel(0, 1, latency=10.0))
+        latency, _ = network.deliver(ClassicalMessage(MessageType.HERALD, 0, 1, size_bits=1))
+        assert latency == pytest.approx(10.0)
+
+    def test_set_channel_requires_edge(self):
+        network = ClassicalNetwork(cycle_topology(6))
+        with pytest.raises(ValueError):
+            network.set_channel(ClassicalChannel(0, 3))
+
+    def test_unknown_channel_lookup(self):
+        network = ClassicalNetwork(cycle_topology(6))
+        with pytest.raises(KeyError):
+            network.channel(0, 3)
+
+
+class TestFloodingControlPlane:
+    def test_message_count_per_round(self):
+        topology = cycle_topology(5)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 2)
+        plane = FloodingControlPlane(topology, ledger)
+        plane.run_round(0)
+        assert plane.total_messages == 5 * 4
+        assert plane.total_bits > 0
+        assert plane.bits_per_round() == plane.total_bits
+
+    def test_per_link_accounting_with_network(self):
+        topology = cycle_topology(5)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 1)
+        network = ClassicalNetwork(topology)
+        plane = FloodingControlPlane(topology, ledger, network=network)
+        plane.run_round(0)
+        assert network.messages_delivered == plane.total_messages
+        assert sum(network.bits_by_edge.values()) >= plane.total_bits
+
+    def test_summary_keys(self):
+        topology = cycle_topology(4)
+        plane = FloodingControlPlane(topology, PairCountLedger(topology.nodes))
+        plane.run_round(0)
+        summary = plane.summary()
+        assert set(summary) == {"rounds", "messages", "bits", "bits_per_round"}
+
+
+class TestChokeUnchokeGossip:
+    def test_messages_scale_with_fanout(self, rng):
+        topology = cycle_topology(8)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 3)
+        narrow = ChokeUnchokeGossip(topology, ledger, unchoked_slots=1, rng=np.random.default_rng(0))
+        wide = ChokeUnchokeGossip(topology, ledger, unchoked_slots=4, rng=np.random.default_rng(0))
+        narrow.run_round(0)
+        wide.run_round(0)
+        assert wide.total_messages == 4 * narrow.total_messages
+
+    def test_gossip_cheaper_than_flooding(self):
+        topology = cycle_topology(10)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 1)
+        flooding = FloodingControlPlane(topology, ledger)
+        gossip = ChokeUnchokeGossip(topology, ledger, unchoked_slots=2, rng=np.random.default_rng(1))
+        flooding.run_round(0)
+        gossip.run_round(0)
+        assert gossip.total_messages < flooding.total_messages
+        assert gossip.total_bits < flooding.total_bits
+
+    def test_coverage_grows_over_rounds(self):
+        topology = cycle_topology(10)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 1)
+        gossip = ChokeUnchokeGossip(topology, ledger, unchoked_slots=2, rng=np.random.default_rng(2))
+        gossip.run_round(0)
+        early = sum(gossip.coverage(node) for node in topology.nodes)
+        for round_index in range(1, 15):
+            gossip.run_round(round_index)
+        late = sum(gossip.coverage(node) for node in topology.nodes)
+        assert late >= early
+
+    def test_staleness_error_reflects_changes(self):
+        topology = cycle_topology(6)
+        ledger = PairCountLedger(topology.nodes)
+        ledger.add(0, 1, 5)
+        gossip = ChokeUnchokeGossip(topology, ledger, unchoked_slots=5, rng=np.random.default_rng(3))
+        gossip.run_round(0)
+        assert all(gossip.staleness_error(node) == 0.0 for node in topology.nodes if gossip.views.get(node))
+        ledger.add(0, 1, 5)  # truth moves on
+        assert any(gossip.staleness_error(node) > 0 for node in topology.nodes if gossip.views.get(node))
+
+    def test_unchoked_peers_rotate(self):
+        topology = cycle_topology(12)
+        ledger = PairCountLedger(topology.nodes)
+        gossip = ChokeUnchokeGossip(
+            topology, ledger, unchoked_slots=2, rotation_period=1, rng=np.random.default_rng(4)
+        )
+        gossip.run_round(0)
+        first = set(gossip.unchoked_peers(0))
+        for round_index in range(1, 20):
+            gossip.run_round(round_index)
+        later = set(gossip.unchoked_peers(0))
+        assert first != later or len(first) == 2  # rotation happened (or degenerate tiny case)
+
+    def test_validation(self):
+        topology = cycle_topology(4)
+        ledger = PairCountLedger(topology.nodes)
+        with pytest.raises(ValueError):
+            ChokeUnchokeGossip(topology, ledger, unchoked_slots=0)
+        with pytest.raises(ValueError):
+            ChokeUnchokeGossip(topology, ledger, rotation_period=0)

@@ -1,0 +1,118 @@
+"""CLI tests and cross-module integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.overhead import swap_overhead_from_result
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.core.lp.extensions import PairOverheads
+from repro.core.lp.formulation import PathObliviousFlowProgram
+from repro.core.lp.objectives import Objective
+from repro.core.lp.solver import solve_flow_program
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_trial
+from repro.network.demand import RequestSequence, uniform_demand
+from repro.network.topologies import random_connected_grid_topology
+from repro.protocols import ConnectionOrientedProtocol, PathObliviousProtocol
+from repro.sim.rng import RandomStreams
+
+
+class TestCLI:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "figure4" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["figure4"])
+        assert args.nodes == 25
+        assert args.experiment == "figure4"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure42"])
+
+    def test_classical_experiment_end_to_end(self, capsys):
+        assert main(["classical", "--nodes", "9"]) == 0
+        assert "E6" in capsys.readouterr().out
+
+    def test_lp_experiment_end_to_end(self, capsys):
+        assert main(["lp", "--nodes", "9"]) == 0
+        assert "E3" in capsys.readouterr().out
+
+
+class TestIntegrationPaperWorkload:
+    """End-to-end runs exercising the paper's exact experimental recipe (scaled down)."""
+
+    def test_paper_recipe_on_random_grid(self):
+        # 16-node random connected wraparound grid, 10 consumer pairs, ordered
+        # requests, D = 2 -- the full Section 5 recipe at reduced scale.
+        outcome = run_trial(
+            ExperimentConfig(
+                topology="random-grid",
+                n_nodes=16,
+                distillation=2.0,
+                n_consumer_pairs=10,
+                n_requests=15,
+                seed=8,
+            )
+        )
+        assert outcome.all_satisfied
+        assert outcome.overhead_exact >= 1.0
+        assert outcome.pairs_generated > outcome.pairs_consumed
+
+    def test_oblivious_vs_planned_tradeoff(self):
+        """The central trade-off: oblivious pays swaps, planned pays latency."""
+        topology = random_connected_grid_topology(16, rng=RandomStreams(4).get("topology"))
+        pairs = [(0, 10), (3, 13), (5, 15)]
+
+        def run(protocol_class):
+            requests = RequestSequence.round_robin(pairs, 9)
+            protocol = protocol_class(topology, requests, overheads=1.0, streams=RandomStreams(4))
+            return protocol.run()
+
+        oblivious = run(PathObliviousProtocol)
+        planned = run(ConnectionOrientedProtocol)
+        assert oblivious.all_requests_satisfied and planned.all_requests_satisfied
+        oblivious_overhead = swap_overhead_from_result(topology, oblivious).overhead
+        planned_overhead = swap_overhead_from_result(topology, planned).overhead
+        # Planned-path achieves the minimum swap count; oblivious pays more.
+        assert planned_overhead == pytest.approx(1.0)
+        assert oblivious_overhead >= planned_overhead
+
+    def test_lp_predicts_simulation_feasibility(self):
+        """If the LP says the demand is infeasible, the simulation should also
+        fail to keep up (and vice versa for comfortably feasible demand)."""
+        topology = random_connected_grid_topology(9, rng=RandomStreams(2).get("topology"))
+        pairs = [(0, 4), (2, 8)]
+        demand = uniform_demand(pairs, rate=0.2)
+        program = PathObliviousFlowProgram(topology, demand, overheads=PairOverheads.uniform())
+        solution = solve_flow_program(program, Objective.MAX_PROPORTIONAL_ALPHA)
+        assert solution.alpha is not None and solution.alpha >= 1.0
+        # The simulated protocol should be able to serve this demand stream.
+        requests = RequestSequence.round_robin(pairs, 10)
+        protocol = PathObliviousProtocol(topology, requests, streams=RandomStreams(2), max_rounds=5000)
+        result = protocol.run()
+        assert result.all_requests_satisfied
+
+    def test_balancing_conserves_and_spreads_pairs(self):
+        """Integration of generation + balancing without consumption: total pair
+        count grows by generation minus swap losses, and entanglement spreads to
+        node pairs that cannot generate directly."""
+        topology = random_connected_grid_topology(9, rng=RandomStreams(11).get("topology"))
+        requests = RequestSequence.round_robin([(0, 8)], 1)
+        protocol = PathObliviousProtocol(topology, requests, streams=RandomStreams(11), max_rounds=30)
+        result = protocol.run()
+        ledger_pairs = protocol.ledger.nonzero_pairs()
+        non_edge_pairs = [pair for pair in ledger_pairs if not topology.has_edge(*pair)]
+        assert non_edge_pairs, "balancing should create entanglement beyond generation edges"
+        # Conservation: generated = consumed + remaining + swap losses (D=1 -> 1 pair per swap).
+        assert result.pairs_generated == (
+            result.pairs_consumed + result.pairs_remaining + result.swaps_performed
+        )

@@ -1,0 +1,211 @@
+"""Tests for the experiment harness (configs, runner, figure/ablation experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.classical_overhead import run_classical_overhead
+from repro.experiments.comparison import run_comparison
+from repro.experiments.config import ExperimentConfig, full_mode_enabled
+from repro.experiments.figure4 import figure4_configs, run_figure4
+from repro.experiments.figure5 import figure5_configs, run_figure5
+from repro.experiments.lp_validation import run_lp_validation
+from repro.experiments.runner import build_protocol, build_requests, build_topology, run_trial
+from repro.protocols.oblivious import PathObliviousProtocol
+from repro.protocols.planned import ConnectionOrientedProtocol
+from repro.sim.rng import RandomStreams
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.n_nodes == 25
+        assert config.n_consumer_pairs == 35
+        assert config.protocol == "path-oblivious"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_nodes=2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(distillation=0.5)
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(loss_factor=0.0)
+
+    def test_with_override(self):
+        config = ExperimentConfig().with_(distillation=3.0)
+        assert config.distillation == 3.0
+        assert config.n_nodes == 25
+
+    def test_label_contains_key_facts(self):
+        label = ExperimentConfig(topology="cycle", distillation=2.0, seed=4).label()
+        assert "cycle" in label and "D=2" in label and "seed=4" in label
+
+    def test_full_mode_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_mode_enabled()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_mode_enabled()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_mode_enabled()
+
+
+class TestRunnerBuilders:
+    def test_build_topology_respects_qec(self):
+        streams = RandomStreams(0)
+        config = ExperimentConfig(topology="cycle", n_nodes=9, qec_overhead=2.0)
+        topology = build_topology(config, streams)
+        assert topology.generation_rate(0, 1) == pytest.approx(0.5)
+
+    def test_build_requests_count(self):
+        streams = RandomStreams(0)
+        config = ExperimentConfig(topology="cycle", n_nodes=9, n_requests=12, n_consumer_pairs=5)
+        topology = build_topology(config, streams)
+        requests = build_requests(config, topology, streams)
+        assert len(requests) == 12
+
+    def test_build_protocol_types(self):
+        streams = RandomStreams(0)
+        config = ExperimentConfig(topology="cycle", n_nodes=9, n_requests=5, n_consumer_pairs=4)
+        topology = build_topology(config, streams)
+        requests = build_requests(config, topology, streams)
+        assert isinstance(build_protocol(config, topology, requests, streams), PathObliviousProtocol)
+        planned = config.with_(protocol="planned-connection-oriented")
+        assert isinstance(
+            build_protocol(planned, topology, build_requests(planned, topology, streams), streams),
+            ConnectionOrientedProtocol,
+        )
+
+    def test_build_protocol_unknown_name(self):
+        streams = RandomStreams(0)
+        config = ExperimentConfig(topology="cycle", n_nodes=9)
+        topology = build_topology(config, streams)
+        requests = build_requests(config, topology, streams)
+        with pytest.raises(ValueError):
+            build_protocol(config.with_(protocol="quantum-bgp"), topology, requests, streams)
+
+    def test_build_protocol_unknown_policy_or_knowledge(self):
+        streams = RandomStreams(0)
+        config = ExperimentConfig(topology="cycle", n_nodes=9, policy="psychic")
+        topology = build_topology(config, streams)
+        requests = build_requests(config, topology, streams)
+        with pytest.raises(ValueError):
+            build_protocol(config, topology, requests, streams)
+        config2 = ExperimentConfig(topology="cycle", n_nodes=9, knowledge="telepathy")
+        with pytest.raises(ValueError):
+            build_protocol(config2, topology, build_requests(config2, topology, streams), streams)
+
+
+class TestRunTrial:
+    def test_trial_outcome_fields(self):
+        config = ExperimentConfig(
+            topology="cycle", n_nodes=9, n_requests=8, n_consumer_pairs=5, seed=1
+        )
+        outcome = run_trial(config)
+        assert outcome.all_satisfied
+        assert outcome.overhead_exact >= 1.0
+        assert outcome.overhead == outcome.overhead_exact
+        assert outcome.swaps_performed > 0
+        assert outcome.rounds > 0
+        assert outcome.requests_total == 8
+        assert sum(outcome.consumption_by_pair.values()) == outcome.requests_satisfied
+
+    def test_trial_deterministic_for_seed(self):
+        config = ExperimentConfig(topology="cycle", n_nodes=9, n_requests=6, n_consumer_pairs=4, seed=3)
+        first = run_trial(config)
+        second = run_trial(config)
+        assert first.swaps_performed == second.swaps_performed
+        assert first.rounds == second.rounds
+        assert first.overhead_exact == pytest.approx(second.overhead_exact)
+
+    def test_paper_variant_selectable(self):
+        config = ExperimentConfig(
+            topology="cycle", n_nodes=9, n_requests=6, n_consumer_pairs=4, seed=3,
+            overhead_variant="paper",
+        )
+        outcome = run_trial(config)
+        assert outcome.overhead == outcome.overhead_paper
+
+
+class TestFigureSweeps:
+    def test_figure4_config_grid(self):
+        configs = figure4_configs(distillation_values=(1.0, 2.0), topologies=("cycle",), seeds=(1, 2))
+        assert len(configs) == 4
+        assert all(config.n_nodes == 25 for config in configs)
+
+    def test_figure4_small_run(self):
+        result = run_figure4(
+            n_nodes=9,
+            distillation_values=(1.0,),
+            topologies=("cycle", "grid"),
+            n_requests=8,
+            n_consumer_pairs=5,
+        )
+        series = result.series()
+        assert set(series) == {"cycle", "grid"}
+        assert all(1.0 in points for points in series.values())
+        assert all(value >= 1.0 for points in series.values() for value in points.values())
+        assert "Figure 4" in result.format_report()
+        assert len(result.rows()) == 2
+
+    def test_figure5_config_grid(self):
+        configs = figure5_configs(network_sizes=(9, 16), topologies=("cycle",))
+        assert [config.n_nodes for config in configs] == [9, 16]
+
+    def test_figure5_small_run(self):
+        result = run_figure5(
+            network_sizes=(9,),
+            topologies=("cycle",),
+            n_requests=8,
+            n_consumer_pairs=5,
+        )
+        assert 9 in result.series()["cycle"]
+        assert "Figure 5" in result.format_report()
+
+
+class TestOtherExperiments:
+    def test_lp_validation_runs_and_checks_steady_state(self):
+        result = run_lp_validation(topologies=("cycle",), n_nodes=9, demand_pairs=4, demand_rate=0.1)
+        assert result.rows
+        feasible_rows = [row for row in result.rows if row.feasible]
+        assert feasible_rows
+        assert all(row.steady_state_ok for row in feasible_rows)
+        assert "E3" in result.format_report()
+
+    def test_comparison_covers_all_protocols(self):
+        result = run_comparison(topology="cycle", n_nodes=9, n_requests=10, n_consumer_pairs=5)
+        assert len(result.outcomes) == 4
+        by_protocol = result.by_protocol()
+        assert by_protocol["planned-connection-oriented"].overhead_exact == pytest.approx(1.0)
+        assert by_protocol["path-oblivious"].overhead_exact >= 1.0
+        assert "E4" in result.format_report()
+
+    def test_ablations_selected_axes(self):
+        result = run_ablations(
+            axes=("swap-rate", "recurrence"),
+            topology="cycle",
+            n_nodes=9,
+            distillation=1.0,
+            n_requests=6,
+            n_consumer_pairs=4,
+        )
+        assert {row.axis for row in result.rows} == {"swap-rate", "recurrence"}
+        assert len(result.rows_for("swap-rate")) == 3
+        assert "E5" in result.format_report()
+
+    def test_ablations_unknown_axis(self):
+        with pytest.raises(ValueError):
+            run_ablations(axes=("coffee",), n_nodes=9)
+
+    def test_classical_overhead_gossip_cheaper(self):
+        result = run_classical_overhead(topology_name="cycle", n_nodes=9, rounds=10, gossip_fanouts=(2,))
+        strategies = {row.strategy: row for row in result.rows}
+        assert strategies["gossip-fanout2"].bits < strategies["flooding"].bits
+        assert strategies["flooding"].mean_coverage == 1.0
+        assert "E6" in result.format_report()
+
+    def test_classical_overhead_validation(self):
+        with pytest.raises(ValueError):
+            run_classical_overhead(rounds=0)

@@ -1,0 +1,276 @@
+"""Tests for the path-oblivious LP: formulation, objectives, solver, extensions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lp.extensions import PairOverheads, thin_generation_for_qec
+from repro.core.lp.formulation import PathObliviousFlowProgram, VariableIndex
+from repro.core.lp.objectives import Objective
+from repro.core.lp.solver import InfeasibleProgramError, solve_flow_program
+from repro.core.lp.steady_state import (
+    compute_rates,
+    max_feasible_uniform_demand,
+    node_budget_violations,
+    verify_steady_state,
+)
+from repro.network.demand import uniform_demand
+from repro.network.topologies import cycle_topology, grid_topology, line_topology
+from repro.network.topology import Topology
+
+
+class TestPairOverheads:
+    def test_defaults(self):
+        overheads = PairOverheads()
+        assert overheads.distillation_for(0, 1) == 1.0
+        assert overheads.loss_for(0, 1) == 1.0
+
+    def test_per_pair_overrides(self):
+        overheads = PairOverheads.uniform(distillation=2.0, loss=0.9)
+        overheads.set_distillation(0, 1, 3.0)
+        overheads.set_loss(1, 0, 0.5)
+        assert overheads.distillation_for(1, 0) == 3.0
+        assert overheads.loss_for(0, 1) == 0.5
+        assert overheads.distillation_for(4, 5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairOverheads(default_distillation=0.5)
+        with pytest.raises(ValueError):
+            PairOverheads(default_loss=0.0)
+        with pytest.raises(ValueError):
+            PairOverheads.uniform(distillation=2.0).set_loss(0, 1, 1.5)
+
+    def test_from_fidelities(self):
+        overheads = PairOverheads.from_fidelities({(0, 1): 0.8, (1, 2): 0.99}, target_fidelity=0.95)
+        assert overheads.distillation_for(0, 1) > 1.0
+        assert overheads.distillation_for(1, 2) == 1.0
+
+    def test_with_decoherence(self):
+        from repro.quantum.decoherence import ExponentialDecoherence
+
+        overheads = PairOverheads.with_decoherence(
+            ExponentialDecoherence(coherence_time=10.0), mean_storage_time=10.0
+        )
+        assert overheads.default_loss == pytest.approx(0.5)
+
+    def test_qec_thinning(self, small_cycle):
+        thinned = thin_generation_for_qec(small_cycle, 4.0)
+        assert thinned.generation_rate(0, 1) == pytest.approx(0.25)
+        assert thin_generation_for_qec(small_cycle, 1.0) is small_cycle
+        with pytest.raises(ValueError):
+            thin_generation_for_qec(small_cycle, 0.5)
+
+
+class TestVariableIndex:
+    def test_add_and_lookup(self):
+        index = VariableIndex()
+        first = index.add(("sigma", 1, (0, 2)))
+        again = index.add(("sigma", 1, (0, 2)))
+        assert first == again == 0
+        assert ("sigma", 1, (0, 2)) in index
+        assert len(index) == 1
+
+
+class TestFormulation:
+    def test_variable_count(self):
+        topology = cycle_topology(5)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 2)], 0.1))
+        lp = program.build(Objective.MIN_TOTAL_SWAPS)
+        # sigma variables: every (repeater, pair) with repeater outside the pair.
+        expected_sigma = 5 * (4 * 3 // 2)
+        assert lp.n_variables == expected_sigma
+        assert lp.n_constraints == 10  # one balance row per unordered pair
+
+    def test_generation_variables_only_on_edges(self):
+        topology = cycle_topology(5)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 2)], 0.1))
+        lp = program.build(Objective.MIN_TOTAL_GENERATION)
+        generation_vars = [name for name in lp.variables.names() if name[0] == "g"]
+        assert len(generation_vars) == topology.n_edges
+
+    def test_rejects_disconnected_topology(self):
+        topology = Topology("d", nodes=[0, 1, 2, 3])
+        topology.add_edge(0, 1)
+        topology.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            PathObliviousFlowProgram(topology, uniform_demand([(0, 1)], 0.1))
+
+    def test_rejects_demand_outside_topology(self):
+        topology = cycle_topology(5)
+        with pytest.raises(ValueError):
+            PathObliviousFlowProgram(topology, uniform_demand([(0, 77)], 0.1))
+
+    def test_rejects_bad_qec(self):
+        with pytest.raises(ValueError):
+            PathObliviousFlowProgram(cycle_topology(5), uniform_demand([(0, 2)], 0.1), qec_overhead=0.5)
+
+
+class TestSolverOnKnownCases:
+    def test_line_min_generation_matches_hop_count(self):
+        # Serving rate c end-to-end over a 4-hop line needs c pairs per link.
+        topology = line_topology(5)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 4)], 0.5))
+        solution = solve_flow_program(program, Objective.MIN_TOTAL_GENERATION)
+        assert solution.objective_value == pytest.approx(4 * 0.5, abs=1e-6)
+        assert solution.total_swap_rate() == pytest.approx(3 * 0.5, abs=1e-6)
+
+    def test_line_alpha_equals_capacity_ratio(self):
+        topology = line_topology(5)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 4)], 0.5))
+        solution = solve_flow_program(program, Objective.MAX_PROPORTIONAL_ALPHA)
+        assert solution.alpha == pytest.approx(2.0, abs=1e-6)
+
+    def test_adjacent_demand_needs_no_swaps(self):
+        topology = cycle_topology(6)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 1)], 0.5))
+        solution = solve_flow_program(program, Objective.MIN_TOTAL_SWAPS)
+        assert solution.total_swap_rate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_min_swaps_matches_shortest_path_on_cycle(self):
+        topology = cycle_topology(8)
+        program = PathObliviousFlowProgram(topology, uniform_demand([(0, 3)], 0.2))
+        solution = solve_flow_program(program, Objective.MIN_TOTAL_SWAPS)
+        # 3 hops need 2 swaps per delivered pair.
+        assert solution.total_swap_rate() == pytest.approx(0.4, abs=1e-6)
+
+    def test_distillation_reduces_alpha(self):
+        topology = line_topology(4)
+        demand = uniform_demand([(0, 3)], 0.5)
+        plain = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MAX_PROPORTIONAL_ALPHA
+        )
+        costly = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand, overheads=PairOverheads.uniform(distillation=2.0)),
+            Objective.MAX_PROPORTIONAL_ALPHA,
+        )
+        assert costly.alpha < plain.alpha
+
+    def test_loss_reduces_alpha(self):
+        topology = line_topology(4)
+        demand = uniform_demand([(0, 3)], 0.5)
+        plain = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MAX_PROPORTIONAL_ALPHA
+        )
+        lossy = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand, overheads=PairOverheads.uniform(loss=0.5)),
+            Objective.MAX_PROPORTIONAL_ALPHA,
+        )
+        assert lossy.alpha < plain.alpha
+
+    def test_qec_thinning_reduces_alpha(self):
+        topology = line_topology(4)
+        demand = uniform_demand([(0, 3)], 0.5)
+        plain = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MAX_PROPORTIONAL_ALPHA
+        )
+        thinned = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand, qec_overhead=4.0),
+            Objective.MAX_PROPORTIONAL_ALPHA,
+        )
+        assert thinned.alpha == pytest.approx(plain.alpha / 4.0, rel=1e-4)
+
+    def test_infeasible_demand_raises(self):
+        topology = line_topology(3)
+        demand = uniform_demand([(0, 2)], 10.0)  # far beyond capacity
+        program = PathObliviousFlowProgram(topology, demand)
+        with pytest.raises(InfeasibleProgramError):
+            solve_flow_program(program, Objective.MIN_TOTAL_GENERATION)
+
+    def test_max_consumption_bounded_by_demand(self):
+        topology = cycle_topology(6)
+        demand = uniform_demand([(0, 3), (1, 4)], 0.1)
+        solution = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MAX_TOTAL_CONSUMPTION
+        )
+        assert solution.total_consumption_rate() == pytest.approx(0.2, abs=1e-6)
+        assert solution.served_fraction(0.2) == pytest.approx(1.0, abs=1e-6)
+
+    def test_max_min_consumption_fairness(self):
+        # One short pair and one long pair competing: max-min should not starve the long one.
+        topology = line_topology(5)
+        demand = uniform_demand([(0, 1), (0, 4)], 1.0)
+        solution = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MAX_MIN_CONSUMPTION
+        )
+        rates = [solution.consumption_rates.get(pair, 0.0) for pair in demand.pairs()]
+        assert min(rates) == pytest.approx(solution.objective_value, abs=1e-6)
+        assert solution.objective_value > 0.2
+
+    def test_min_max_generation_balances_edges(self):
+        topology = cycle_topology(6)
+        demand = uniform_demand([(0, 3)], 0.2)
+        solution = solve_flow_program(
+            PathObliviousFlowProgram(topology, demand), Objective.MIN_MAX_GENERATION
+        )
+        assert solution.objective_value <= 0.2 + 1e-6  # both directions around the cycle share load
+
+    def test_swap_load_by_node(self):
+        topology = line_topology(4)
+        solution = solve_flow_program(
+            PathObliviousFlowProgram(topology, uniform_demand([(0, 3)], 0.3)),
+            Objective.MIN_TOTAL_SWAPS,
+        )
+        load = solution.swap_load_by_node()
+        assert set(load) <= {1, 2}
+        assert solution.swap_rate_at(1) + solution.swap_rate_at(2) == pytest.approx(
+            solution.total_swap_rate()
+        )
+
+
+class TestSteadyState:
+    def test_lp_solutions_satisfy_balance(self):
+        topology = grid_topology(9)
+        demand = uniform_demand([(0, 4), (2, 6)], 0.2)
+        overheads = PairOverheads.uniform(distillation=2.0)
+        program = PathObliviousFlowProgram(topology, demand, overheads=overheads)
+        for objective in (Objective.MAX_PROPORTIONAL_ALPHA, Objective.MAX_TOTAL_CONSUMPTION):
+            solution = solve_flow_program(program, objective)
+            rates = compute_rates(
+                topology.nodes,
+                solution.generation_rates,
+                solution.consumption_rates,
+                solution.swap_rates,
+                overheads=overheads,
+            )
+            assert verify_steady_state(rates).is_consistent
+
+    def test_violation_detected(self):
+        rates = compute_rates(
+            nodes=[0, 1],
+            generation={(0, 1): 0.1},
+            consumption={(0, 1): 1.0},
+            swap_rates={},
+        )
+        verify_steady_state(rates)
+        assert not rates.is_consistent
+        assert rates.slack((0, 1)) < 0
+
+    def test_swap_rates_counted_on_both_sides(self):
+        rates = compute_rates(
+            nodes=[0, 1, 2],
+            generation={(0, 1): 1.0, (1, 2): 1.0},
+            consumption={},
+            swap_rates={(1, (0, 2)): 0.5},
+        )
+        assert rates.arrivals[(0, 2)] == pytest.approx(0.5)
+        assert rates.departures[(0, 1)] == pytest.approx(0.5)
+        assert rates.departures[(1, 2)] == pytest.approx(0.5)
+
+    def test_degenerate_swap_rejected(self):
+        with pytest.raises(ValueError):
+            compute_rates([0, 1], {}, {}, {(0, (0, 1)): 0.5})
+
+    def test_node_budget_violations(self):
+        topology = line_topology(3)
+        violations = node_budget_violations(
+            topology, generation={(0, 1): 0.1, (1, 2): 0.1}, consumption={(0, 2): 0.5}
+        )
+        assert violations  # node 0 consumes 0.5 but only generates 0.1
+
+    def test_max_feasible_uniform_demand(self):
+        topology = cycle_topology(6)
+        alpha = max_feasible_uniform_demand(topology, [(0, 3)])
+        assert alpha > 0
+        with pytest.raises(ValueError):
+            max_feasible_uniform_demand(topology, [])

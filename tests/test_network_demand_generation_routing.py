@@ -1,0 +1,294 @@
+"""Tests for demand models, generation processes, links, nodes and routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.demand import (
+    ConsumptionRequest,
+    DemandMatrix,
+    RequestSequence,
+    gravity_demand,
+    hotspot_demand,
+    select_consumer_pairs,
+    uniform_demand,
+)
+from repro.network.generation import (
+    BernoulliGeneration,
+    DeterministicGeneration,
+    PoissonGeneration,
+    make_generation_process,
+)
+from repro.network.link import GenerationLink
+from repro.network.node import QuantumNode
+from repro.network.routing import (
+    edge_disjoint_paths,
+    k_shortest_paths,
+    path_edges,
+    path_hops,
+    shortest_path,
+    validate_path,
+)
+from repro.network.topology import edge_key
+from repro.quantum.bell_pair import BellPair
+
+
+class TestSelectConsumerPairs:
+    def test_count_and_uniqueness(self, small_cycle, rng):
+        pairs = select_consumer_pairs(small_cycle, 5, rng)
+        assert len(pairs) == 5
+        assert len(set(pairs)) == 5
+
+    def test_all_pairs_when_too_many_requested(self, small_cycle, rng):
+        pairs = select_consumer_pairs(small_cycle, 1000, rng)
+        assert len(pairs) == 15
+
+    def test_exclude_generation_edges(self, small_cycle, rng):
+        pairs = select_consumer_pairs(small_cycle, 5, rng, exclude_generation_edges=True)
+        assert all(not small_cycle.has_edge(*pair) for pair in pairs)
+
+    def test_deterministic_for_seed(self, small_cycle):
+        a = select_consumer_pairs(small_cycle, 5, np.random.default_rng(9))
+        b = select_consumer_pairs(small_cycle, 5, np.random.default_rng(9))
+        assert a == b
+
+    def test_rejects_non_positive(self, small_cycle, rng):
+        with pytest.raises(ValueError):
+            select_consumer_pairs(small_cycle, 0, rng)
+
+
+class TestRequestSequence:
+    def test_generation_length_and_membership(self, small_cycle, rng):
+        pairs = select_consumer_pairs(small_cycle, 4, rng)
+        sequence = RequestSequence.generate(pairs, 20, rng)
+        assert len(sequence) == 20
+        assert all(request.pair in pairs for request in sequence.requests())
+
+    def test_head_of_line_semantics(self, small_cycle, rng):
+        pairs = select_consumer_pairs(small_cycle, 3, rng)
+        sequence = RequestSequence.generate(pairs, 3, rng)
+        head = sequence.head()
+        assert head is not None and head.index == 0
+        sequence.note_head_issued(2)
+        sequence.mark_head_satisfied(5)
+        assert head.issued_round == 2
+        assert head.satisfied_round == 5
+        assert head.waiting_rounds == 3
+        assert sequence.head().index == 1
+
+    def test_mark_satisfied_when_empty_raises(self):
+        sequence = RequestSequence.round_robin([(0, 1)], 1)
+        sequence.mark_head_satisfied(0)
+        assert sequence.all_satisfied
+        with pytest.raises(IndexError):
+            sequence.mark_head_satisfied(1)
+
+    def test_round_robin_order(self):
+        sequence = RequestSequence.round_robin([(0, 1), (2, 3)], 4)
+        assert [request.pair for request in sequence.requests()] == [
+            (0, 1), (2, 3), (0, 1), (2, 3),
+        ]
+
+    def test_weighted_generation(self, rng):
+        pairs = [(0, 1), (2, 3)]
+        sequence = RequestSequence.generate(pairs, 200, rng, weights=[1.0, 0.0])
+        assert all(request.pair == (0, 1) for request in sequence.requests())
+
+    def test_weight_validation(self, rng):
+        with pytest.raises(ValueError):
+            RequestSequence.generate([(0, 1)], 5, rng, weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            RequestSequence.generate([(0, 1)], 5, rng, weights=[0.0])
+
+    def test_consumption_counts(self):
+        sequence = RequestSequence.round_robin([(0, 1), (2, 3)], 4)
+        sequence.mark_head_satisfied(0)
+        sequence.mark_head_satisfied(0)
+        assert sequence.consumption_counts() == {(0, 1): 1, (2, 3): 1}
+        assert sequence.satisfied_count == 2
+        assert sequence.pending_count == 2
+
+    def test_empty_inputs_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RequestSequence.generate([], 5, rng)
+        with pytest.raises(ValueError):
+            RequestSequence.generate([(0, 1)], 0, rng)
+
+
+class TestDemandMatrix:
+    def test_symmetric_rate_lookup(self):
+        demand = DemandMatrix()
+        demand.set_rate(0, 3, 0.5)
+        assert demand.rate(3, 0) == 0.5
+        assert demand.rate(0, 0) == 0.0
+        assert demand.total_rate() == 0.5
+
+    def test_zero_rate_removes_pair(self):
+        demand = DemandMatrix()
+        demand.set_rate(0, 1, 0.5)
+        demand.set_rate(0, 1, 0.0)
+        assert demand.pairs() == []
+
+    def test_rejects_invalid(self):
+        demand = DemandMatrix()
+        with pytest.raises(ValueError):
+            demand.set_rate(1, 1, 0.5)
+        with pytest.raises(ValueError):
+            demand.set_rate(0, 1, -0.5)
+
+    def test_node_rate(self):
+        demand = uniform_demand([(0, 1), (0, 2)], rate=0.3)
+        assert demand.node_rate(0) == pytest.approx(0.6)
+        assert demand.node_rate(1) == pytest.approx(0.3)
+
+    def test_scaled(self):
+        demand = uniform_demand([(0, 1)], rate=0.4).scaled(2.0)
+        assert demand.rate(0, 1) == pytest.approx(0.8)
+
+    def test_uniform_demand_validation(self):
+        with pytest.raises(ValueError):
+            uniform_demand([(0, 1)], rate=0.0)
+
+    def test_gravity_demand_proportional(self, small_cycle):
+        demand = gravity_demand(small_cycle, {0: 2.0, 1: 1.0, 2: 1.0}, total_rate=4.0)
+        assert demand.total_rate() == pytest.approx(4.0)
+        assert demand.rate(0, 1) == pytest.approx(2.0 * demand.rate(1, 2))
+
+    def test_gravity_demand_needs_positive_weights(self, small_cycle):
+        with pytest.raises(ValueError):
+            gravity_demand(small_cycle, {0: 0.0}, total_rate=1.0)
+
+    def test_hotspot_demand(self, small_cycle, rng):
+        demand = hotspot_demand(small_cycle, hotspot=0, rate_per_pair=0.2)
+        assert demand.node_rate(0) == pytest.approx(0.2 * 5)
+        limited = hotspot_demand(small_cycle, hotspot=0, rate_per_pair=0.2, n_partners=2, rng=rng)
+        assert len(limited.pairs()) == 2
+        with pytest.raises(KeyError):
+            hotspot_demand(small_cycle, hotspot=99)
+
+
+class TestGenerationProcesses:
+    def test_deterministic_unit_rates(self, small_cycle, rng):
+        process = DeterministicGeneration(small_cycle)
+        pairs = process.pairs_for_round(0, rng)
+        assert pairs == {edge: 1 for edge in small_cycle.edges()}
+
+    def test_deterministic_fractional_rates_accumulate(self, rng):
+        from repro.network.topology import Topology
+
+        topology = Topology("t")
+        topology.add_edge(0, 1, 0.5)
+        process = DeterministicGeneration(topology)
+        produced = [sum(process.pairs_for_round(r, rng).values()) for r in range(10)]
+        assert sum(produced) == 5
+
+    def test_bernoulli_respects_probability(self, small_cycle):
+        process = BernoulliGeneration(small_cycle)
+        rng = np.random.default_rng(0)
+        total = sum(
+            sum(process.pairs_for_round(r, rng).values()) for r in range(200)
+        )
+        assert total == 200 * small_cycle.n_edges  # rate 1.0 -> always succeeds
+
+    def test_poisson_mean_close_to_rate(self, small_cycle):
+        process = PoissonGeneration(small_cycle)
+        rng = np.random.default_rng(0)
+        total = sum(sum(process.pairs_for_round(r, rng).values()) for r in range(300))
+        expected = 300 * small_cycle.n_edges
+        assert abs(total - expected) / expected < 0.1
+
+    def test_factory(self, small_cycle):
+        assert isinstance(make_generation_process("deterministic", small_cycle), DeterministicGeneration)
+        assert isinstance(make_generation_process("bernoulli", small_cycle), BernoulliGeneration)
+        assert isinstance(make_generation_process("poisson", small_cycle), PoissonGeneration)
+        with pytest.raises(KeyError):
+            make_generation_process("quantum-magic", small_cycle)
+
+    def test_expected_rate(self, small_cycle):
+        process = DeterministicGeneration(small_cycle)
+        assert process.expected_rate(edge_key(0, 1)) == 1.0
+
+
+class TestLinkAndNode:
+    def test_link_effective_rate(self):
+        link = GenerationLink(0, 1, attempt_rate=10.0, success_probability=0.2)
+        assert link.effective_rate == pytest.approx(2.0)
+        assert link.expected_attempts_per_pair() == pytest.approx(5.0)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            GenerationLink(0, 0)
+        with pytest.raises(ValueError):
+            GenerationLink(0, 1, success_probability=0.0)
+        with pytest.raises(ValueError):
+            GenerationLink(0, 1, elementary_fidelity=0.1)
+
+    def test_link_generate(self, rng):
+        link = GenerationLink(0, 1, success_probability=1.0, elementary_fidelity=0.9)
+        pair = link.generate(now=2.0, rng=rng)
+        assert pair is not None
+        assert pair.fidelity == 0.9
+        assert pair.created_at == 2.0
+        never = GenerationLink(0, 1, success_probability=1e-12)
+        assert never.generate(now=0.0, rng=rng) is None
+
+    def test_node_pair_bookkeeping(self):
+        node = QuantumNode(0)
+        pair = BellPair(node_a=0, node_b=1)
+        node.store_pair(pair)
+        assert node.pair_count(1) == 1
+        assert node.entangled_partners() == [1]
+        node.release_pair(pair.pair_id)
+        assert node.pair_count(1) == 0
+
+    def test_node_stats(self):
+        node = QuantumNode(0)
+        node.record_swap()
+        node.record_generation()
+        node.record_consumption()
+        stats = node.stats()
+        assert stats["swaps_performed"] == 1
+        assert stats["pairs_generated"] == 1
+        assert stats["pairs_consumed"] == 1
+
+
+class TestRouting:
+    def test_path_helpers(self):
+        assert path_hops([0, 1, 2]) == 2
+        assert path_edges([0, 1, 2]) == [edge_key(0, 1), edge_key(1, 2)]
+        with pytest.raises(ValueError):
+            path_hops([])
+
+    def test_validate_path(self, small_cycle):
+        validate_path(small_cycle, [0, 1, 2])
+        with pytest.raises(ValueError):
+            validate_path(small_cycle, [0, 2])
+        with pytest.raises(ValueError):
+            validate_path(small_cycle, [0])
+
+    def test_k_shortest_paths_on_cycle(self, small_cycle):
+        paths = k_shortest_paths(small_cycle, 0, 3, k=2)
+        assert len(paths) == 2
+        assert all(path[0] == 0 and path[-1] == 3 for path in paths)
+        assert len(paths[0]) <= len(paths[1])
+
+    def test_k_shortest_paths_disconnected(self):
+        from repro.network.topology import Topology
+
+        topology = Topology("d", nodes=[0, 1, 2])
+        topology.add_edge(0, 1)
+        assert k_shortest_paths(topology, 0, 2, k=3) == []
+
+    def test_k_validation(self, small_cycle):
+        with pytest.raises(ValueError):
+            k_shortest_paths(small_cycle, 0, 3, k=0)
+
+    def test_edge_disjoint_paths_on_cycle(self, small_cycle):
+        paths = edge_disjoint_paths(small_cycle, 0, 3, k=3)
+        assert len(paths) == 2  # a cycle has exactly two edge-disjoint routes
+        used = [set(path_edges(path)) for path in paths]
+        assert not (used[0] & used[1])
+
+    def test_shortest_path_wrapper(self, small_cycle):
+        assert shortest_path(small_cycle, 0, 2) == small_cycle.shortest_path(0, 2)

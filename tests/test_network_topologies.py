@@ -1,0 +1,191 @@
+"""Tests for the topology builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.topologies import (
+    available_topologies,
+    complete_topology,
+    cycle_topology,
+    dumbbell_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    line_topology,
+    random_connected_grid_topology,
+    random_tree_topology,
+    star_topology,
+    topology_from_name,
+    waxman_topology,
+)
+from repro.network.topologies.grid import coordinates_of, grid_side, node_at
+
+
+class TestCycle:
+    def test_structure(self):
+        topology = cycle_topology(10)
+        assert topology.n_nodes == 10
+        assert topology.n_edges == 10
+        assert all(topology.degree(node) == 2 for node in topology.nodes)
+        assert topology.is_connected()
+
+    def test_paper_neighbour_rule(self):
+        topology = cycle_topology(25)
+        for node in range(25):
+            assert topology.has_edge(node, (node + 1) % 25)
+            assert topology.has_edge(node, (node - 1) % 25)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_topology(2)
+
+    def test_custom_rate(self):
+        topology = cycle_topology(5, generation_rate=0.5)
+        assert topology.generation_rate(0, 1) == 0.5
+
+
+class TestGrid:
+    def test_grid_side_validation(self):
+        assert grid_side(25) == 5
+        with pytest.raises(ValueError):
+            grid_side(24)
+        with pytest.raises(ValueError):
+            grid_side(1)
+
+    def test_coordinates_roundtrip(self):
+        for node in range(25):
+            row, column = coordinates_of(node, 5)
+            assert node_at(row, column, 5) == node
+
+    def test_wraparound_grid_is_4_regular(self):
+        topology = grid_topology(25)
+        assert topology.n_edges == 50
+        assert all(topology.degree(node) == 4 for node in topology.nodes)
+
+    def test_wraparound_edges_exist(self):
+        topology = grid_topology(9)
+        # Node 0 = (0, 0) wraps to (0, 2) = node 2 and (2, 0) = node 6.
+        assert topology.has_edge(0, 2)
+        assert topology.has_edge(0, 6)
+
+    def test_non_wraparound_grid(self):
+        topology = grid_topology(9, wraparound=False)
+        assert topology.n_edges == 12
+        assert not topology.has_edge(0, 2)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            grid_topology(10)
+
+
+class TestRandomGrid:
+    def test_connected_and_subgraph_of_torus(self, rng):
+        topology = random_connected_grid_topology(25, rng=rng)
+        torus = grid_topology(25)
+        assert topology.is_connected()
+        assert topology.n_nodes == 25
+        for edge in topology.edges():
+            assert torus.has_edge(*edge)
+
+    def test_stops_near_connectivity(self, rng):
+        # The paper adds edges only until connected, so the edge count stays
+        # well below the full torus (50 edges) and at or above a spanning tree.
+        topology = random_connected_grid_topology(25, rng=rng)
+        assert 24 <= topology.n_edges < 50
+
+    def test_deterministic_for_seed(self):
+        a = random_connected_grid_topology(16, rng=np.random.default_rng(5))
+        b = random_connected_grid_topology(16, rng=np.random.default_rng(5))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_extra_edges_increase_density(self):
+        sparse = random_connected_grid_topology(16, rng=np.random.default_rng(1))
+        dense = random_connected_grid_topology(
+            16, rng=np.random.default_rng(1), extra_edge_fraction=1.0
+        )
+        assert dense.n_edges > sparse.n_edges
+        assert dense.n_edges == grid_topology(16).n_edges
+
+    def test_invalid_extra_fraction(self):
+        with pytest.raises(ValueError):
+            random_connected_grid_topology(16, extra_edge_fraction=1.5)
+
+
+class TestOtherTopologies:
+    def test_line(self):
+        topology = line_topology(5)
+        assert topology.n_edges == 4
+        assert topology.degree(0) == 1
+        assert topology.degree(2) == 2
+        with pytest.raises(ValueError):
+            line_topology(1)
+
+    def test_star(self):
+        topology = star_topology(6)
+        assert topology.n_nodes == 7
+        assert topology.degree(0) == 6
+        assert all(topology.degree(leaf) == 1 for leaf in range(1, 7))
+        with pytest.raises(ValueError):
+            star_topology(1)
+
+    def test_complete(self):
+        topology = complete_topology(6)
+        assert topology.n_edges == 15
+        with pytest.raises(ValueError):
+            complete_topology(1)
+
+    def test_random_tree(self, rng):
+        topology = random_tree_topology(12, rng=rng)
+        assert topology.n_edges == 11
+        assert topology.is_connected()
+        assert random_tree_topology(2, rng=rng).n_edges == 1
+
+    def test_erdos_renyi_connected(self, rng):
+        topology = erdos_renyi_topology(15, 0.4, rng=rng)
+        assert topology.is_connected()
+        with pytest.raises(ValueError):
+            erdos_renyi_topology(15, 0.0, rng=rng)
+
+    def test_erdos_renyi_impossible_connectivity(self, rng):
+        with pytest.raises(RuntimeError):
+            erdos_renyi_topology(40, 0.001, rng=rng, max_attempts=3)
+
+    def test_waxman_connected(self, rng):
+        topology = waxman_topology(15, alpha=0.9, beta=0.8, rng=rng)
+        assert topology.is_connected()
+        assert all(topology.position(node) is not None for node in topology.nodes)
+
+    def test_waxman_invalid_parameters(self, rng):
+        with pytest.raises(ValueError):
+            waxman_topology(10, alpha=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            waxman_topology(10, beta=0.0, rng=rng)
+
+    def test_dumbbell(self):
+        topology = dumbbell_topology(4, bridge_length=2)
+        assert topology.n_nodes == 10
+        assert topology.is_connected()
+        # Cross-clique paths must use the bridge.
+        assert topology.shortest_path_length(0, 9) >= 3
+        with pytest.raises(ValueError):
+            dumbbell_topology(1)
+
+
+class TestRegistry:
+    def test_lists_known_names(self):
+        names = available_topologies()
+        assert "cycle" in names and "random-grid" in names and "grid" in names
+
+    @pytest.mark.parametrize("name", ["cycle", "grid", "random-grid", "line", "star", "tree", "complete"])
+    def test_builds_connected_topologies(self, name, rng):
+        topology = topology_from_name(name, 9, rng=rng)
+        assert topology.is_connected()
+        assert topology.n_nodes >= 8  # star uses n-1 leaves + hub
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            topology_from_name("moebius", 9)
+
+    def test_case_insensitive(self, rng):
+        assert topology_from_name("CYCLE", 9, rng=rng).n_nodes == 9

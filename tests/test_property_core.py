@@ -1,0 +1,151 @@
+"""Property-based tests for the core data structures and algorithms (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fairness import is_max_min_fair
+from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.protocols.nested import nested_swap_count, sequential_swap_count
+from repro.sim.metrics import Histogram
+
+# ---------------------------------------------------------------------- #
+# Ledger invariants under random operation sequences
+# ---------------------------------------------------------------------- #
+ledger_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=1, max_value=3),
+    ),
+    max_size=40,
+)
+
+
+class TestLedgerProperties:
+    @given(ledger_ops)
+    def test_symmetry_and_non_negativity_always_hold(self, operations):
+        ledger = PairCountLedger(range(5))
+        for op, a, b, amount in operations:
+            if a == b:
+                continue
+            if op == "add":
+                ledger.add(a, b, amount)
+            else:
+                if ledger.count(a, b) >= amount:
+                    ledger.remove(a, b, amount)
+        for a in range(5):
+            for b in range(5):
+                assert ledger.count(a, b) == ledger.count(b, a)
+                assert ledger.count(a, b) >= 0
+
+    @given(ledger_ops)
+    def test_total_pairs_matches_sum_of_counts(self, operations):
+        ledger = PairCountLedger(range(5))
+        for op, a, b, amount in operations:
+            if a == b:
+                continue
+            if op == "add":
+                ledger.add(a, b, amount)
+            elif ledger.count(a, b) >= amount:
+                ledger.remove(a, b, amount)
+        assert ledger.total_pairs() == sum(ledger.nonzero_pairs().values())
+
+
+# ---------------------------------------------------------------------- #
+# Balancer invariants
+# ---------------------------------------------------------------------- #
+initial_counts = st.dictionaries(
+    keys=st.tuples(st.integers(0, 5), st.integers(0, 5)).filter(lambda pair: pair[0] < pair[1]),
+    values=st.integers(min_value=1, max_value=12),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestBalancerProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(initial_counts, st.integers(min_value=1, max_value=3))
+    def test_convergence_reaches_max_min_fixed_point(self, counts, distillation):
+        ledger = PairCountLedger(range(6))
+        for (a, b), value in counts.items():
+            ledger.add(a, b, value)
+        balancer = MaxMinBalancer(
+            ledger, overheads=float(distillation), rng=np.random.default_rng(0), keep_records=False
+        )
+        balancer.balance_to_convergence(max_rounds=5000)
+        assert is_max_min_fair(balancer)
+
+    @settings(deadline=None, max_examples=40)
+    @given(initial_counts, st.integers(min_value=1, max_value=3))
+    def test_pair_accounting_exact(self, counts, distillation):
+        """Every swap removes exactly D pairs from each donor and adds one pair."""
+        ledger = PairCountLedger(range(6))
+        total_before = 0
+        for (a, b), value in counts.items():
+            ledger.add(a, b, value)
+            total_before += value
+        balancer = MaxMinBalancer(
+            ledger, overheads=float(distillation), rng=np.random.default_rng(1), keep_records=False
+        )
+        balancer.balance_to_convergence(max_rounds=5000)
+        total_after = ledger.total_pairs()
+        expected_loss = balancer.swaps_performed * (2 * distillation - 1)
+        assert total_before - total_after == expected_loss
+
+    @settings(deadline=None, max_examples=30)
+    @given(initial_counts)
+    def test_swaps_never_leave_negative_counts(self, counts):
+        ledger = PairCountLedger(range(6))
+        for (a, b), value in counts.items():
+            ledger.add(a, b, value)
+        balancer = MaxMinBalancer(ledger, rng=np.random.default_rng(2), keep_records=False)
+        for round_index in range(20):
+            balancer.run_round(round_index)
+        assert all(count >= 0 for count in ledger.nonzero_pairs().values())
+
+
+# ---------------------------------------------------------------------- #
+# Nested-swapping cost properties
+# ---------------------------------------------------------------------- #
+class TestNestedCountProperties:
+    @given(st.integers(min_value=1, max_value=64))
+    def test_exact_variant_is_hops_minus_one_at_unit_d(self, hops):
+        assert nested_swap_count(hops, 1.0) == hops - 1
+
+    @given(st.integers(min_value=1, max_value=20), st.floats(min_value=1.0, max_value=4.0))
+    def test_nested_never_worse_than_sequential(self, hops, distillation):
+        assert nested_swap_count(hops, distillation) <= sequential_swap_count(hops, distillation) + 1e-9
+
+    @given(st.integers(min_value=2, max_value=20), st.floats(min_value=1.0, max_value=4.0))
+    def test_monotone_in_hops(self, hops, distillation):
+        assert nested_swap_count(hops, distillation) >= nested_swap_count(hops - 1, distillation)
+
+    @given(st.integers(min_value=2, max_value=16))
+    def test_monotone_in_distillation(self, hops):
+        values = [nested_swap_count(hops, d) for d in (1.0, 1.5, 2.0, 3.0)]
+        assert all(earlier <= later for earlier, later in zip(values, values[1:]))
+
+    @given(st.integers(min_value=1, max_value=20), st.floats(min_value=1.0, max_value=4.0))
+    def test_paper_variant_never_exceeds_exact(self, hops, distillation):
+        assert nested_swap_count(hops, distillation, variant="paper") <= nested_swap_count(
+            hops, distillation, variant="exact"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Metric container sanity under arbitrary observations
+# ---------------------------------------------------------------------- #
+class TestHistogramProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_quantiles_bracket_extremes(self, samples):
+        histogram = Histogram("x")
+        histogram.observe_many(samples)
+        assert histogram.quantile(0.0) == pytest.approx(min(samples))
+        assert histogram.quantile(1.0) == pytest.approx(max(samples))
+        assert min(samples) - 1e-9 <= histogram.quantile(0.5) <= max(samples) + 1e-9

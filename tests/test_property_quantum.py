@@ -1,0 +1,103 @@
+"""Property-based tests for the quantum substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.distillation import (
+    bbpssw_output_fidelity,
+    bbpssw_success_probability,
+    dejmps_round,
+    werner_coefficients,
+)
+from repro.quantum.fidelity import (
+    chained_swap_fidelity,
+    depolarize,
+    swap_fidelity,
+    teleportation_fidelity,
+)
+
+fidelities = st.floats(min_value=0.25, max_value=1.0, allow_nan=False)
+distillable = st.floats(min_value=0.501, max_value=1.0, allow_nan=False)
+survivals = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestSwapFidelityProperties:
+    @given(fidelities, fidelities)
+    def test_output_stays_in_range(self, f_a, f_b):
+        result = swap_fidelity(f_a, f_b)
+        assert 0.25 - 1e-12 <= result <= 1.0 + 1e-12
+
+    @given(fidelities, fidelities)
+    def test_symmetry(self, f_a, f_b):
+        assert math.isclose(swap_fidelity(f_a, f_b), swap_fidelity(f_b, f_a))
+
+    @given(fidelities)
+    def test_perfect_pair_is_identity_element(self, f):
+        assert math.isclose(swap_fidelity(f, 1.0), f)
+
+    @given(fidelities, fidelities)
+    def test_never_exceeds_either_input_above_half(self, f_a, f_b):
+        # For distillable-range inputs, swapping cannot improve on the better pair.
+        result = swap_fidelity(f_a, f_b)
+        assert result <= max(f_a, f_b) + 1e-12
+
+    @given(st.lists(fidelities, min_size=1, max_size=8))
+    def test_chain_order_invariance(self, chain):
+        forward = chained_swap_fidelity(chain)
+        backward = chained_swap_fidelity(list(reversed(chain)))
+        assert math.isclose(forward, backward, rel_tol=1e-9)
+
+    @given(st.lists(fidelities, min_size=2, max_size=8), st.randoms())
+    def test_chain_permutation_invariance(self, chain, random):
+        shuffled = list(chain)
+        random.shuffle(shuffled)
+        assert math.isclose(
+            chained_swap_fidelity(chain), chained_swap_fidelity(shuffled), rel_tol=1e-9
+        )
+
+
+class TestDepolarizeProperties:
+    @given(fidelities, survivals)
+    def test_range(self, fidelity, survival):
+        assert 0.25 - 1e-12 <= depolarize(fidelity, survival) <= 1.0 + 1e-12
+
+    @given(fidelities, survivals, survivals)
+    def test_monotone_in_survival(self, fidelity, s_a, s_b):
+        low, high = sorted((s_a, s_b))
+        assert depolarize(fidelity, low) <= depolarize(fidelity, high) + 1e-12
+
+    @given(fidelities)
+    def test_teleportation_fidelity_bounds(self, fidelity):
+        result = teleportation_fidelity(fidelity)
+        assert 0.5 - 1e-12 <= result <= 1.0 + 1e-12
+
+
+class TestDistillationProperties:
+    @given(distillable)
+    def test_bbpssw_improves_distillable_pairs(self, fidelity):
+        assert bbpssw_output_fidelity(fidelity) >= fidelity - 1e-12
+
+    @given(fidelities)
+    def test_bbpssw_success_probability_valid(self, fidelity):
+        probability = bbpssw_success_probability(fidelity)
+        assert 0.0 < probability <= 1.0 + 1e-12
+
+    @given(distillable)
+    def test_bbpssw_output_in_range(self, fidelity):
+        assert 0.25 <= bbpssw_output_fidelity(fidelity) <= 1.0 + 1e-12
+
+    @given(distillable)
+    def test_dejmps_matches_direction_of_bbpssw(self, fidelity):
+        output, success = dejmps_round(werner_coefficients(fidelity))
+        assert 0.0 < success <= 1.0 + 1e-12
+        assert output[0] >= fidelity - 1e-9
+
+    @given(distillable)
+    def test_dejmps_output_normalised(self, fidelity):
+        output, _ = dejmps_round(werner_coefficients(fidelity))
+        assert math.isclose(sum(output), 1.0, abs_tol=1e-9)
+        assert all(weight >= -1e-12 for weight in output)

@@ -1,0 +1,127 @@
+"""Tests for the entity-level (discrete-event) simulation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.demand import RequestSequence
+from repro.network.topologies import cycle_topology, line_topology
+from repro.protocols.entity import EntityLevelSimulation
+from repro.quantum.decoherence import CutoffPolicy, ExponentialDecoherence
+from repro.quantum.swap import SwapPhysics
+from repro.sim.rng import RandomStreams
+
+
+def run_simulation(**overrides):
+    topology = overrides.pop("topology", cycle_topology(8))
+    requests = overrides.pop("requests", RequestSequence.round_robin([(0, 3), (1, 5)], 6))
+    defaults = dict(
+        topology=topology,
+        requests=requests,
+        streams=RandomStreams(overrides.pop("seed", 1)),
+        max_time=overrides.pop("max_time", 400.0),
+    )
+    defaults.update(overrides)
+    return EntityLevelSimulation(**defaults).run()
+
+
+class TestEntitySimulationBasics:
+    def test_ideal_conditions_serve_all_requests(self):
+        result = run_simulation()
+        assert result.all_requests_satisfied
+        assert result.pairs_generated > 0
+        assert result.swaps_attempted > 0
+        assert result.swaps_failed == 0
+        assert result.pairs_expired == 0
+
+    def test_perfect_hardware_delivers_high_fidelity(self):
+        result = run_simulation(elementary_fidelity=1.0)
+        assert result.all_requests_satisfied
+        assert result.mean_delivered_fidelity() == pytest.approx(1.0)
+
+    def test_elementary_fidelity_bounds_delivered_fidelity(self):
+        result = run_simulation(elementary_fidelity=0.95, fidelity_threshold=0.6)
+        assert result.all_requests_satisfied
+        assert result.mean_delivered_fidelity() < 1.0
+        assert result.mean_delivered_fidelity() > 0.6
+
+    def test_adjacent_requests_need_no_swaps(self):
+        requests = RequestSequence.round_robin([(0, 1)], 3)
+        result = run_simulation(requests=requests, max_time=50.0)
+        assert result.all_requests_satisfied
+
+    def test_validation(self):
+        topology = cycle_topology(6)
+        requests = RequestSequence.round_robin([(0, 3)], 2)
+        with pytest.raises(ValueError):
+            EntityLevelSimulation(topology, requests, fidelity_threshold=0.1)
+        with pytest.raises(ValueError):
+            EntityLevelSimulation(topology, requests, balancing_interval=0.0)
+        with pytest.raises(ValueError):
+            EntityLevelSimulation(topology, requests, max_time=0.0)
+
+
+class TestEntitySimulationImperfections:
+    def test_lossy_swaps_are_recorded(self):
+        result = run_simulation(
+            swap_physics=SwapPhysics(measurement_efficiency=0.5), max_time=600.0
+        )
+        assert result.swaps_failed > 0
+        assert 0.0 < result.swap_failure_rate() < 1.0
+
+    def test_decoherence_expires_pairs(self):
+        result = run_simulation(
+            decoherence=ExponentialDecoherence(coherence_time=3.0),
+            fidelity_threshold=0.7,
+            max_time=300.0,
+        )
+        assert result.pairs_expired > 0
+
+    def test_cutoff_policy_cleanses_old_pairs(self):
+        result = run_simulation(cutoff=CutoffPolicy(max_age=2.0), max_time=200.0)
+        assert result.pairs_expired > 0
+
+    def test_short_coherence_hurts_delivered_fidelity(self):
+        ideal = run_simulation(elementary_fidelity=0.95, fidelity_threshold=0.55)
+        noisy = run_simulation(
+            elementary_fidelity=0.95,
+            fidelity_threshold=0.55,
+            decoherence=ExponentialDecoherence(coherence_time=20.0),
+            max_time=800.0,
+        )
+        if noisy.delivered_fidelities and ideal.delivered_fidelities:
+            assert noisy.mean_delivered_fidelity() <= ideal.mean_delivered_fidelity() + 1e-9
+
+    def test_max_time_bounds_unsatisfiable_run(self):
+        # Threshold so high that multi-hop swapped pairs never qualify.
+        topology = line_topology(6)
+        requests = RequestSequence.round_robin([(0, 5)], 50)
+        result = run_simulation(
+            topology=topology,
+            requests=requests,
+            elementary_fidelity=0.9,
+            fidelity_threshold=0.99,
+            max_time=60.0,
+        )
+        assert not result.all_requests_satisfied
+        assert result.end_time <= 60.0
+
+    def test_gate_noise_lowers_fidelity_of_swapped_pairs(self):
+        clean = run_simulation(elementary_fidelity=1.0)
+        noisy = run_simulation(
+            elementary_fidelity=1.0,
+            swap_physics=SwapPhysics(gate_fidelity=0.95),
+            fidelity_threshold=0.55,
+        )
+        assert noisy.mean_delivered_fidelity() <= clean.mean_delivered_fidelity() + 1e-9
+
+    def test_empty_fidelity_list_gives_nan_mean(self):
+        topology = line_topology(4)
+        requests = RequestSequence.round_robin([(0, 3)], 5)
+        result = run_simulation(
+            topology=topology, requests=requests, fidelity_threshold=1.0, elementary_fidelity=0.9,
+            max_time=30.0,
+        )
+        assert math.isnan(result.mean_delivered_fidelity()) or result.requests_satisfied > 0

@@ -1,0 +1,191 @@
+"""Tests for the density-matrix micro-simulator and gate library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import (
+    CNOT,
+    CZ,
+    HADAMARD,
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    is_unitary,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+)
+from repro.quantum.states import (
+    DensityMatrix,
+    bell_measurement,
+    bell_state,
+    bell_state_vector,
+    create_bell_pair_circuit,
+    fidelity,
+    pauli_correction,
+)
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "gate", [IDENTITY, PAULI_X, PAULI_Y, PAULI_Z, HADAMARD, CNOT, CZ]
+    )
+    def test_standard_gates_are_unitary(self, gate):
+        assert is_unitary(gate)
+
+    @pytest.mark.parametrize("theta", [0.0, 0.3, np.pi / 2, np.pi])
+    def test_rotations_are_unitary(self, theta):
+        assert is_unitary(rotation_x(theta))
+        assert is_unitary(rotation_y(theta))
+        assert is_unitary(rotation_z(theta))
+
+    def test_hadamard_squares_to_identity(self):
+        assert np.allclose(HADAMARD @ HADAMARD, IDENTITY)
+
+    def test_paulis_anticommute(self):
+        assert np.allclose(PAULI_X @ PAULI_Z, -(PAULI_Z @ PAULI_X))
+
+    def test_non_unitary_detected(self):
+        assert not is_unitary(np.array([[1, 0], [0, 2]]))
+        assert not is_unitary(np.ones((2, 3)))
+
+
+class TestDensityMatrix:
+    def test_pure_state_has_unit_purity(self):
+        state = DensityMatrix.from_statevector([1, 0])
+        assert state.purity() == pytest.approx(1.0)
+
+    def test_maximally_mixed_purity(self):
+        state = DensityMatrix.maximally_mixed(2)
+        assert state.purity() == pytest.approx(0.25)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.ones((2, 3)))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(3) / 3)
+
+    def test_rejects_non_unit_trace(self):
+        with pytest.raises(ValueError):
+            DensityMatrix(np.eye(2))
+
+    def test_rejects_non_hermitian(self):
+        matrix = np.array([[0.5, 0.5], [0.0, 0.5]], dtype=complex)
+        with pytest.raises(ValueError):
+            DensityMatrix(matrix)
+
+    def test_computational_basis_probabilities(self):
+        state = DensityMatrix.computational_basis(2, index=2)
+        assert np.allclose(state.probabilities(), [0, 0, 1, 0])
+
+    def test_basis_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.computational_basis(1, index=2)
+
+    def test_tensor_dimensions(self):
+        joint = DensityMatrix.computational_basis(1).tensor(DensityMatrix.computational_basis(1))
+        assert joint.n_qubits == 2
+
+    def test_apply_x_flips_qubit(self):
+        state = DensityMatrix.computational_basis(1, 0).apply_unitary(PAULI_X, [0])
+        assert np.allclose(state.probabilities(), [0, 1])
+
+    def test_apply_unitary_on_second_qubit(self):
+        state = DensityMatrix.computational_basis(2, 0).apply_unitary(PAULI_X, [1])
+        assert np.allclose(state.probabilities(), [0, 1, 0, 0])
+
+    def test_apply_cnot_ordering(self):
+        # |10> --CNOT(0->1)--> |11>
+        state = DensityMatrix.computational_basis(2, 2).apply_unitary(CNOT, [0, 1])
+        assert np.allclose(state.probabilities(), [0, 0, 0, 1])
+
+    def test_apply_unitary_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.computational_basis(2, 0).apply_unitary(CNOT, [0])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.computational_basis(2, 0).apply_unitary(CNOT, [0, 0])
+
+    def test_measure_deterministic_state(self):
+        state = DensityMatrix.computational_basis(1, 1)
+        outcome, probability, _ = state.measure(0)
+        assert outcome == 1
+        assert probability == pytest.approx(1.0)
+
+    def test_measure_forced_outcome(self):
+        plus = DensityMatrix.from_statevector(np.array([1, 1]) / np.sqrt(2))
+        outcome, probability, post = plus.measure(0, outcome=0)
+        assert outcome == 0
+        assert probability == pytest.approx(0.5)
+        assert post.probabilities()[0] == pytest.approx(1.0)
+
+    def test_measure_zero_probability_outcome_rejected(self):
+        state = DensityMatrix.computational_basis(1, 0)
+        with pytest.raises(ValueError):
+            state.measure(0, outcome=1)
+
+    def test_partial_trace_of_bell_state_is_mixed(self):
+        reduced = bell_state().partial_trace([0])
+        assert reduced.n_qubits == 1
+        assert reduced.purity() == pytest.approx(0.5)
+
+    def test_partial_trace_keeps_requested_order(self):
+        # |01> : qubit0 = 0, qubit1 = 1.  Keeping [1, 0] should swap roles.
+        state = DensityMatrix.computational_basis(2, 1)
+        swapped = state.partial_trace([1, 0])
+        assert np.allclose(swapped.probabilities(), [0, 0, 1, 0])
+
+    def test_depolarize_reduces_purity(self):
+        state = DensityMatrix.computational_basis(1, 0).depolarize(0, 0.5)
+        assert state.purity() < 1.0
+
+    def test_depolarize_probability_range(self):
+        with pytest.raises(ValueError):
+            DensityMatrix.computational_basis(1, 0).depolarize(0, 1.5)
+
+
+class TestBellStates:
+    @pytest.mark.parametrize("name", ["phi+", "phi-", "psi+", "psi-"])
+    def test_bell_states_are_pure(self, name):
+        assert bell_state(name).purity() == pytest.approx(1.0)
+
+    def test_bell_states_are_orthogonal(self):
+        phi_plus = bell_state("phi+")
+        phi_minus = bell_state("phi-")
+        assert abs(np.trace(phi_plus.matrix @ phi_minus.matrix)) == pytest.approx(0.0)
+
+    def test_unknown_bell_state(self):
+        with pytest.raises(ValueError):
+            bell_state("omega")
+        with pytest.raises(ValueError):
+            bell_state_vector("omega")
+
+    def test_circuit_produces_phi_plus(self):
+        assert fidelity(create_bell_pair_circuit(), bell_state("phi+")) == pytest.approx(1.0)
+
+    def test_fidelity_requires_pure_target(self):
+        with pytest.raises(ValueError):
+            fidelity(bell_state(), DensityMatrix.maximally_mixed(2))
+
+    def test_fidelity_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            fidelity(bell_state(), DensityMatrix.computational_basis(1))
+
+    def test_bell_measurement_on_phi_plus_gives_00(self):
+        (bit_a, bit_b), _ = bell_measurement(bell_state("phi+"), 0, 1, outcomes=(0, 0))
+        assert (bit_a, bit_b) == (0, 0)
+
+    def test_pauli_correction_identity_for_00(self):
+        assert np.allclose(pauli_correction(0, 0), IDENTITY)
+
+    def test_pauli_correction_x_for_01(self):
+        assert np.allclose(pauli_correction(0, 1), PAULI_X)
+
+    def test_pauli_correction_z_for_10(self):
+        assert np.allclose(pauli_correction(1, 0), PAULI_Z)

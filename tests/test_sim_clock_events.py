@@ -1,0 +1,93 @@
+"""Tests for repro.sim.clock and repro.sim.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+from repro.sim.events import EventType, SimEvent, make_timer
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimulationClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulationClock(-1.0)
+
+    def test_advance_to(self):
+        clock = SimulationClock()
+        assert clock.advance_to(3.5) == 3.5
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = SimulationClock(2.0)
+        assert clock.advance_to(2.0) == 2.0
+
+    def test_cannot_move_backwards(self):
+        clock = SimulationClock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_advance_by(self):
+        clock = SimulationClock(1.0)
+        assert clock.advance_by(2.0) == 3.0
+
+    def test_advance_by_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationClock().advance_by(-0.1)
+
+    def test_reset(self):
+        clock = SimulationClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+    def test_reset_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationClock().reset(-1.0)
+
+
+class TestSimEvent:
+    def test_ordering_by_time(self):
+        early = SimEvent(time=1.0, event_type=EventType.SWAP)
+        late = SimEvent(time=2.0, event_type=EventType.SWAP)
+        assert early < late
+
+    def test_ordering_by_priority_at_same_time(self):
+        low = SimEvent(time=1.0, event_type=EventType.SWAP, priority=0)
+        high = SimEvent(time=1.0, event_type=EventType.SWAP, priority=1)
+        assert low < high
+
+    def test_ordering_by_sequence_for_ties(self):
+        first = SimEvent(time=1.0, event_type=EventType.SWAP)
+        second = SimEvent(time=1.0, event_type=EventType.SWAP)
+        assert first < second
+        assert first.sequence < second.sequence
+
+    def test_cancel(self):
+        event = SimEvent(time=1.0, event_type=EventType.GENERATION)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+    def test_describe_mentions_type(self):
+        event = SimEvent(time=1.0, event_type=EventType.CONSUMPTION, payload={"pair": (0, 1)})
+        assert "consumption" in event.describe()
+
+    def test_make_timer_payload(self):
+        timer = make_timer(4.0, "balance", interval=2.0)
+        assert timer.event_type is EventType.TIMER
+        assert timer.payload["name"] == "balance"
+        assert timer.payload["interval"] == 2.0
+
+    def test_make_timer_without_interval(self):
+        timer = make_timer(4.0, "once")
+        assert "interval" not in timer.payload
+
+    def test_event_types_are_distinct(self):
+        values = [event_type.value for event_type in EventType]
+        assert len(values) == len(set(values))

@@ -1,0 +1,163 @@
+"""Tests for the discrete-event engine (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue, SimulationEngine, StopSimulation
+from repro.sim.events import EventType, SimEvent
+from repro.sim.tracing import TraceRecorder
+
+
+class TestEventQueue:
+    def test_pop_returns_earliest(self):
+        queue = EventQueue()
+        queue.push(SimEvent(time=2.0, event_type=EventType.SWAP))
+        queue.push(SimEvent(time=1.0, event_type=EventType.GENERATION))
+        assert queue.pop().event_type is EventType.GENERATION
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        cancelled = queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
+        queue.push(SimEvent(time=2.0, event_type=EventType.CONSUMPTION))
+        cancelled.cancel()
+        assert queue.pop().event_type is EventType.CONSUMPTION
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
+        queue.push(SimEvent(time=2.0, event_type=EventType.SWAP))
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(SimEvent(time=3.0, event_type=EventType.SWAP))
+        assert queue.peek_time() == 3.0
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
+        assert queue
+
+
+class TestSimulationEngine:
+    def test_handlers_run_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        engine.schedule(2.0, EventType.SWAP)
+        engine.schedule(1.0, EventType.SWAP)
+        engine.run()
+        assert seen == [1.0, 2.0]
+
+    def test_clock_tracks_dispatched_events(self):
+        engine = SimulationEngine()
+        engine.register(EventType.SWAP, lambda event: None)
+        engine.schedule(5.0, EventType.SWAP)
+        end = engine.run()
+        assert end == 5.0
+        assert engine.clock.now == 5.0
+
+    def test_run_until_limit(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        engine.schedule(1.0, EventType.SWAP)
+        engine.schedule(10.0, EventType.SWAP)
+        end = engine.run(until=5.0)
+        assert seen == [1.0]
+        assert end == 5.0
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, EventType.SWAP)
+
+    def test_schedule_at_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.register(EventType.SWAP, lambda event: None)
+        engine.schedule(2.0, EventType.SWAP)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, EventType.SWAP)
+
+    def test_stop_simulation_exception(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def handler(event):
+            seen.append(event.time)
+            raise StopSimulation
+
+        engine.register(EventType.SWAP, handler)
+        engine.schedule(1.0, EventType.SWAP)
+        engine.schedule(2.0, EventType.SWAP)
+        engine.run()
+        assert seen == [1.0]
+
+    def test_stop_method(self):
+        engine = SimulationEngine()
+
+        def handler(event):
+            engine.stop()
+
+        engine.register(EventType.SWAP, handler)
+        engine.schedule(1.0, EventType.SWAP)
+        engine.schedule(2.0, EventType.SWAP)
+        engine.run()
+        assert engine.dispatched_events == 1
+
+    def test_end_of_simulation_event_stops_run(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        engine.schedule(1.0, EventType.END_OF_SIMULATION)
+        engine.schedule(2.0, EventType.SWAP)
+        engine.run()
+        assert seen == []
+
+    def test_unregister(self):
+        engine = SimulationEngine()
+        seen = []
+        handler = lambda event: seen.append(1)  # noqa: E731
+        engine.register(EventType.SWAP, handler)
+        engine.unregister(EventType.SWAP, handler)
+        engine.schedule(1.0, EventType.SWAP)
+        engine.run()
+        assert seen == []
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine(max_events=5)
+
+        def reschedule(event):
+            engine.schedule(1.0, EventType.TIMER)
+
+        engine.register(EventType.TIMER, reschedule)
+        engine.schedule(1.0, EventType.TIMER)
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_trace_records_dispatches(self):
+        trace = TraceRecorder()
+        engine = SimulationEngine(trace=trace)
+        engine.register(EventType.SWAP, lambda event: None)
+        engine.schedule(1.0, EventType.SWAP, payload={"repeater": 3})
+        engine.run()
+        assert trace.count("swap") == 1
+        assert trace.events("swap")[0].payload["repeater"] == 3
+
+    def test_cancelled_event_not_dispatched(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        event = engine.schedule(1.0, EventType.SWAP)
+        event.cancel()
+        engine.run()
+        assert seen == []
