@@ -1,0 +1,122 @@
+"""Benchmarks for the runtime layer: vectorized batching and sweep caching.
+
+Two claims are kept honest here:
+
+* the vectorized Werner algebra in :mod:`repro.quantum.batch` beats the
+  per-pair scalar loop by a wide margin on population-scale batches
+  (>= 1000 pairs), and
+* a cached sweep re-run costs a fixed lookup overhead per cell, not a
+  simulation.
+"""
+
+from __future__ import annotations
+
+import time
+import timeit
+
+import numpy as np
+import pytest
+
+from repro.experiments.figure4 import figure4_configs
+from repro.quantum.batch import (
+    chained_swap_fidelity_batch,
+    decohered_fidelity_batch,
+    swap_fidelity_batch,
+)
+from repro.quantum.fidelity import chained_swap_fidelity, decohered_fidelity, swap_fidelity
+from repro.runtime import ResultCache, SweepRunner
+
+#: Acceptance criterion floor: the batch must hold at least 1000 pairs.
+BATCH_SIZE = 4096
+
+
+@pytest.fixture
+def fidelity_batch():
+    rng = np.random.default_rng(11)
+    return rng.uniform(0.25, 1.0, BATCH_SIZE), rng.uniform(0.25, 1.0, BATCH_SIZE)
+
+
+def _best_of(function, repeats: int = 5, number: int = 3) -> float:
+    """Best-of-N timing (seconds per call), immune to one-off scheduler noise."""
+    return min(timeit.repeat(function, repeat=repeats, number=number)) / number
+
+
+def test_vectorized_swap_beats_scalar_loop(benchmark, fidelity_batch):
+    """Swap composition over a 4096-pair batch: array op vs Python loop."""
+    a, b = fidelity_batch
+
+    batch_result = benchmark.pedantic(
+        lambda: swap_fidelity_batch(a, b), rounds=20, iterations=5
+    )
+    batch_seconds = _best_of(lambda: swap_fidelity_batch(a, b))
+    scalar_seconds = _best_of(
+        lambda: [swap_fidelity(x, y) for x, y in zip(a, b)], repeats=3, number=1
+    )
+    scalar_result = np.array([swap_fidelity(x, y) for x, y in zip(a, b)])
+
+    speedup = scalar_seconds / batch_seconds
+    print(f"\nswap_fidelity x{BATCH_SIZE}: scalar {scalar_seconds*1e3:.2f} ms, "
+          f"batch {batch_seconds*1e3:.3f} ms ({speedup:.0f}x)")
+    assert np.allclose(batch_result, scalar_result, atol=1e-9)
+    assert speedup > 5, f"vectorized path only {speedup:.1f}x faster"
+
+
+def test_vectorized_decoherence_beats_scalar_loop(fidelity_batch):
+    """Memory-decay evolution over the batch: array op vs Python loop."""
+    fidelities, _ = fidelity_batch
+    elapsed = np.linspace(0.0, 5.0, BATCH_SIZE)
+
+    batch_seconds = _best_of(lambda: decohered_fidelity_batch(fidelities, elapsed, 10.0))
+    scalar_seconds = _best_of(
+        lambda: [decohered_fidelity(f, t, 10.0) for f, t in zip(fidelities, elapsed)],
+        repeats=3,
+        number=1,
+    )
+    speedup = scalar_seconds / batch_seconds
+    print(f"\ndecohered_fidelity x{BATCH_SIZE}: scalar {scalar_seconds*1e3:.2f} ms, "
+          f"batch {batch_seconds*1e3:.3f} ms ({speedup:.0f}x)")
+    assert speedup > 5, f"vectorized path only {speedup:.1f}x faster"
+
+
+def test_vectorized_chained_swap_beats_scalar_loop():
+    """End-to-end fidelity of 2048 five-hop chains at once."""
+    rng = np.random.default_rng(13)
+    chains = rng.uniform(0.7, 1.0, (2048, 5))
+
+    batch_seconds = _best_of(lambda: chained_swap_fidelity_batch(chains))
+    scalar_seconds = _best_of(
+        lambda: [chained_swap_fidelity(chain) for chain in chains], repeats=3, number=1
+    )
+    speedup = scalar_seconds / batch_seconds
+    print(f"\nchained_swap x2048x5: scalar {scalar_seconds*1e3:.2f} ms, "
+          f"batch {batch_seconds*1e3:.3f} ms ({speedup:.0f}x)")
+    assert speedup > 5, f"vectorized path only {speedup:.1f}x faster"
+
+
+def test_cached_sweep_rerun_skips_all_simulation(tmp_path, benchmark):
+    """A warm cache turns a sweep into pure lookups (zero recomputed trials)."""
+    configs = figure4_configs(
+        n_nodes=9,
+        distillation_values=(1.0, 2.0),
+        topologies=("cycle", "grid"),
+        n_requests=10,
+        n_consumer_pairs=5,
+    )
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(n_workers=1, cache=cache)
+
+    start = time.perf_counter()
+    runner.run(configs)
+    cold_seconds = time.perf_counter() - start
+
+    report = benchmark.pedantic(
+        lambda: runner.run_with_report(configs), rounds=3, iterations=1
+    )
+    start = time.perf_counter()
+    runner.run(configs)
+    warm_seconds = time.perf_counter() - start
+
+    print(f"\nsweep of {len(configs)} cells: cold {cold_seconds*1e3:.0f} ms, "
+          f"warm {warm_seconds*1e3:.1f} ms")
+    assert report.n_computed == 0 and report.n_cached == len(configs)
+    assert warm_seconds < cold_seconds

@@ -8,8 +8,10 @@ sweep suitable for a laptop.
 
 Run with::
 
-    python examples/reproduce_figures.py            # quick sweep
-    python examples/reproduce_figures.py --full     # full sweep (slow)
+    python examples/reproduce_figures.py                 # quick sweep
+    python examples/reproduce_figures.py --full          # full sweep (slow)
+    python examples/reproduce_figures.py --workers 8     # parallel sweep
+    python examples/reproduce_figures.py --cache         # reuse cached trials
 """
 
 from __future__ import annotations
@@ -20,26 +22,44 @@ import sys
 import time
 
 
+def _positive_int(value):
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return workers
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="run the full paper-scale sweep")
     parser.add_argument("--seeds", type=int, default=1, help="seeded trials per point")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes (results are identical)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true", help="reuse previously computed trials from disk"
+    )
     args = parser.parse_args(argv)
     if args.full:
         os.environ["REPRO_FULL"] = "1"
 
     # Import after REPRO_FULL is set so the sweep presets pick it up.
     from repro.experiments import run_figure4, run_figure5
+    from repro.runtime import ResultCache
 
     seeds = tuple(range(1, args.seeds + 1))
+    cache = ResultCache() if args.cache else None
 
     start = time.time()
-    figure4 = run_figure4(seeds=seeds)
+    figure4 = run_figure4(seeds=seeds, n_workers=args.workers, cache=cache)
     print(figure4.format_report())
     print(f"\n(figure 4 sweep took {time.time() - start:.1f}s)\n")
 
     start = time.time()
-    figure5 = run_figure5(seeds=seeds)
+    figure5 = run_figure5(seeds=seeds, n_workers=args.workers, cache=cache)
     print(figure5.format_report())
     print(f"\n(figure 5 sweep took {time.time() - start:.1f}s)")
     return 0

@@ -1,4 +1,52 @@
-"""Setuptools shim; all metadata lives in pyproject.toml."""
-from setuptools import setup
+"""Package metadata for the HotNets 2025 path-oblivious swapping reproduction."""
 
-setup()
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-quantum",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Path-Oblivious Entanglement Swapping for the "
+        "Quantum Internet' (HotNets 2025): max-min balancing protocol, LP "
+        "formulation, quantum/network simulation stack, and a parallel "
+        "experiment runtime"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    url="https://github.com/paper-repo-growth/repro-quantum",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.8",
+    ],
+    extras_require={
+        "test": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3 :: Only",
+        "Topic :: Scientific/Engineering :: Physics",
+        "Topic :: System :: Networking",
+    ],
+    keywords="quantum-networks entanglement-swapping simulation hotnets reproduction",
+)

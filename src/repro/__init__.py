@@ -12,10 +12,11 @@ Quick start::
     from repro.experiments import run_figure4
     print(run_figure4(n_nodes=25, distillation_values=[1, 2]).format_report())
 
-See README.md for the architecture overview and DESIGN.md for the
+See README.md for the package layout, docs/architecture.md for the
+simulation pipeline and runtime layer, and docs/reproducing.md for the
 per-experiment index.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,8 +1,13 @@
 """Command-line interface.
 
-``python -m repro <experiment>`` (or the installed ``repro-quantum`` script)
-runs one of the experiments from :mod:`repro.experiments` and prints its
+``python -m repro <experiment>`` (or the installed ``repro`` script) runs
+one of the experiments from :mod:`repro.experiments` and prints its
 plain-text report.  Run ``python -m repro --list`` to see what is available.
+
+Sweep-style experiments accept ``--workers N`` to fan trials out across a
+process pool and ``--cache`` to reuse previously computed trials from the
+content-addressed result cache (see :mod:`repro.runtime`); both leave the
+reported numbers bit-identical.
 """
 
 from __future__ import annotations
@@ -19,6 +24,29 @@ from repro.experiments import (
     run_figure5,
     run_lp_validation,
 )
+from repro.runtime import ResultCache, seed_grid
+
+
+def _positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return workers
+
+
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    # --cache-dir implies caching: naming a location and then ignoring it
+    # would silently recompute everything.
+    if not (args.cache or args.cache_dir):
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _seeds_from(args: argparse.Namespace) -> tuple:
+    """The per-point trial seeds: 1..N, or derived from ``--master-seed``."""
+    if args.master_seed is not None:
+        return tuple(seed_grid(args.master_seed, args.seeds))
+    return tuple(range(1, args.seeds + 1))
 
 
 def _run_figure4(args: argparse.Namespace) -> str:
@@ -26,8 +54,10 @@ def _run_figure4(args: argparse.Namespace) -> str:
     return run_figure4(
         n_nodes=args.nodes,
         distillation_values=distillations,
-        seeds=tuple(range(1, args.seeds + 1)),
+        seeds=_seeds_from(args),
         n_requests=args.requests,
+        n_workers=args.workers,
+        cache=_cache_from(args),
     ).format_report()
 
 
@@ -35,8 +65,10 @@ def _run_figure5(args: argparse.Namespace) -> str:
     sizes = args.sizes or None
     return run_figure5(
         network_sizes=sizes,
-        seeds=tuple(range(1, args.seeds + 1)),
+        seeds=_seeds_from(args),
         n_requests=args.requests,
+        n_workers=args.workers,
+        cache=_cache_from(args),
     ).format_report()
 
 
@@ -50,11 +82,18 @@ def _run_comparison(args: argparse.Namespace) -> str:
         n_nodes=args.nodes,
         distillation=args.distillation_single,
         n_requests=args.requests,
+        n_workers=args.workers,
+        cache=_cache_from(args),
     ).format_report()
 
 
 def _run_ablations(args: argparse.Namespace) -> str:
-    return run_ablations(n_nodes=args.nodes, n_requests=args.requests).format_report()
+    return run_ablations(
+        n_nodes=args.nodes,
+        n_requests=args.requests,
+        n_workers=args.workers,
+        cache=_cache_from(args),
+    ).format_report()
 
 
 def _run_classical(args: argparse.Namespace) -> str:
@@ -73,7 +112,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-quantum",
+        prog="repro",
         description="Path-oblivious entanglement swapping (HotNets 2025) reproduction",
     )
     parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS), help="experiment to run")
@@ -83,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=int, default=50, help="length of the consumption request sequence"
     )
     parser.add_argument("--seeds", type=int, default=1, help="number of seeded trials per point")
+    parser.add_argument(
+        "--master-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="derive the per-point trial seeds from this master seed "
+        "(default: use seeds 1..N directly)",
+    )
     parser.add_argument(
         "--distillation",
         type=float,
@@ -97,12 +144,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--sizes", type=int, nargs="*", help="network sizes |N| to sweep (figure5)")
     parser.add_argument("--topology", default="cycle", help="topology name for the comparison experiment")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep experiments (default: 1, i.e. in-process; "
+        "results are identical for any value)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse previously computed trials from the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (implies --cache; default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-quantum)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete every cached trial result and exit",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workers is None:
+        args.workers = 1
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        if Path(args.cache_dir).exists() and not Path(args.cache_dir).is_dir():
+            parser.error(f"--cache-dir: {args.cache_dir} exists and is not a directory")
+    if args.clear_cache:
+        cache = ResultCache(args.cache_dir)
+        print(f"removed {cache.clear()} cached trial(s) from {cache.directory}")
+        return 0
     if args.list or args.experiment is None:
         print("available experiments:")
         for name in sorted(EXPERIMENTS):

@@ -1,4 +1,16 @@
-"""Max-min distributed balancing (paper, Section 4)."""
+"""Max-min distributed balancing (paper, Section 4).
+
+The heart of the path-oblivious protocol: every node repeatedly performs
+the *preferable* swap that most helps its worst-off entanglement partner.
+
+* :mod:`repro.core.maxmin.ledger` -- the symmetric pair-count table
+  ``C_x(y)`` the rule operates on,
+* :mod:`repro.core.maxmin.knowledge` -- what each node believes about
+  remote counts (global vs gossip dissemination, Section 6),
+* :mod:`repro.core.maxmin.policy` -- tie-breaking rules among preferable
+  candidates (min-recipient, random, distance-weighted),
+* :mod:`repro.core.maxmin.balancer` -- the round-based algorithm itself.
+"""
 
 from repro.core.maxmin.balancer import MaxMinBalancer, SwapRecord
 from repro.core.maxmin.knowledge import GlobalKnowledge, GossipKnowledge, KnowledgeModel

@@ -15,6 +15,12 @@ One module per experiment of the per-experiment index in DESIGN.md:
 Every experiment exposes a ``run_*`` function returning a result object with
 ``series()`` / ``rows()`` accessors and a ``format_report()`` renderer; the
 CLI (:mod:`repro.cli`) and the benchmark suite are thin wrappers over these.
+
+Sweep-style experiments (figure4, figure5, comparison, ablations) accept
+``n_workers`` and ``cache`` arguments and execute through the runtime layer
+(:mod:`repro.runtime`), which parallelises trials across processes and
+skips cells already present in the content-addressed result cache --
+without changing a single reported number.
 """
 
 from repro.experiments.config import (

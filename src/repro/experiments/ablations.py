@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.experiments.config import ExperimentConfig, TrialOutcome
-from repro.experiments.runner import run_trial
+from repro.experiments.runner import run_many
 
 #: The ablation axes this experiment knows how to run.
 ABLATION_AXES: Tuple[str, ...] = (
@@ -98,6 +98,59 @@ def _record(result: AblationResult, axis: str, variant: str, outcome: TrialOutco
     )
 
 
+def ablation_variants(
+    base: ExperimentConfig, axes: Sequence[str] = ABLATION_AXES
+) -> List[Tuple[str, str, ExperimentConfig]]:
+    """The flat ``(axis, variant, config)`` grid behind :func:`run_ablations`."""
+    unknown = [axis for axis in axes if axis not in ABLATION_AXES]
+    if unknown:
+        raise ValueError(f"unknown ablation axes {unknown}; choose from {ABLATION_AXES}")
+    variants: List[Tuple[str, str, ExperimentConfig]] = []
+
+    if "swap-rate" in axes:
+        for rate in (1, 2, 4):
+            variants.append(
+                ("swap-rate", f"{rate}/node/round", base.with_(swaps_per_node_per_round=rate))
+            )
+
+    if "policy" in axes:
+        for policy in ("min-recipient", "random", "distance-weighted"):
+            config = base.with_(policy=policy)
+            if policy == "distance-weighted":
+                config = config.with_(policy_max_detour=2)
+            variants.append(("policy", policy, config))
+
+    if "knowledge" in axes:
+        variants.append(("knowledge", "global", base))
+        for fanout in (2, 4):
+            variants.append(
+                (
+                    "knowledge",
+                    f"gossip-fanout{fanout}",
+                    base.with_(knowledge="gossip", gossip_fanout=fanout),
+                )
+            )
+
+    if "hybrid" in axes:
+        variants.append(("hybrid", "pure-oblivious", base))
+        variants.append(("hybrid", "with-fallback", base.with_(use_hybrid_fallback=True)))
+
+    if "density" in axes:
+        for fraction in (0.0, 0.25, 0.5):
+            variants.append(
+                (
+                    "density",
+                    f"extra-edges={fraction:g}",
+                    base.with_(topology="random-grid", extra_edge_fraction=fraction),
+                )
+            )
+
+    if "recurrence" in axes:
+        variants.append(("recurrence", "exact-denominator", base))
+
+    return variants
+
+
 def run_ablations(
     axes: Sequence[str] = ABLATION_AXES,
     topology: str = "random-grid",
@@ -106,11 +159,16 @@ def run_ablations(
     n_requests: int = 30,
     n_consumer_pairs: int = 15,
     seed: int = 5,
+    n_workers: Optional[int] = 1,
+    cache=None,
 ) -> AblationResult:
-    """Run the requested ablation axes on a shared base workload."""
-    unknown = [axis for axis in axes if axis not in ABLATION_AXES]
-    if unknown:
-        raise ValueError(f"unknown ablation axes {unknown}; choose from {ABLATION_AXES}")
+    """Run the requested ablation axes on a shared base workload.
+
+    The full variant grid is materialised up front and executed as one
+    sweep through the runtime layer, so every variant (the base config
+    appears several times; :func:`run_trial` is pure, so duplicates are
+    identical) can run in parallel and hit the result cache.
+    """
     base = ExperimentConfig(
         topology=topology,
         n_nodes=n_nodes,
@@ -120,37 +178,18 @@ def run_ablations(
         seed=seed,
     )
     result = AblationResult(base_config=base)
+    variants = ablation_variants(base, axes)
+    outcomes = run_many(
+        [config for _, _, config in variants], n_workers=n_workers, cache=cache
+    )
+    recurrence_outcome: Optional[TrialOutcome] = None
+    for (axis, variant, _), outcome in zip(variants, outcomes):
+        _record(result, axis, variant, outcome)
+        if axis == "recurrence":
+            recurrence_outcome = outcome
 
-    if "swap-rate" in axes:
-        for rate in (1, 2, 4):
-            outcome = run_trial(base.with_(swaps_per_node_per_round=rate))
-            _record(result, "swap-rate", f"{rate}/node/round", outcome)
-
-    if "policy" in axes:
-        for policy in ("min-recipient", "random", "distance-weighted"):
-            config = base.with_(policy=policy)
-            if policy == "distance-weighted":
-                config = config.with_(policy_max_detour=2)
-            _record(result, "policy", policy, run_trial(config))
-
-    if "knowledge" in axes:
-        _record(result, "knowledge", "global", run_trial(base))
-        for fanout in (2, 4):
-            outcome = run_trial(base.with_(knowledge="gossip", gossip_fanout=fanout))
-            _record(result, "knowledge", f"gossip-fanout{fanout}", outcome)
-
-    if "hybrid" in axes:
-        _record(result, "hybrid", "pure-oblivious", run_trial(base))
-        _record(result, "hybrid", "with-fallback", run_trial(base.with_(use_hybrid_fallback=True)))
-
-    if "density" in axes:
-        for fraction in (0.0, 0.25, 0.5):
-            outcome = run_trial(base.with_(topology="random-grid", extra_edge_fraction=fraction))
-            _record(result, "density", f"extra-edges={fraction:g}", outcome)
-
-    if "recurrence" in axes:
-        outcome = run_trial(base)
-        _record(result, "recurrence", "exact-denominator", outcome)
+    if recurrence_outcome is not None:
+        outcome = recurrence_outcome
         # Same run, re-scored under the paper-literal denominator.
         result.rows.append(
             AblationRow(

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.experiments.config import ExperimentConfig, TrialOutcome
-from repro.experiments.runner import PROTOCOL_NAMES, run_trial
+from repro.experiments.runner import PROTOCOL_NAMES, run_many
 
 #: Protocols compared by default.
 DEFAULT_PROTOCOLS: Tuple[str, ...] = PROTOCOL_NAMES
@@ -78,6 +78,8 @@ def run_comparison(
     n_consumer_pairs: int = 20,
     seed: int = 2,
     max_rounds: int = 200_000,
+    n_workers: Optional[int] = 1,
+    cache=None,
 ) -> ComparisonResult:
     """Run every protocol on the identical workload and collect the outcomes."""
     base = ExperimentConfig(
@@ -89,7 +91,9 @@ def run_comparison(
         seed=seed,
         max_rounds=max_rounds,
     )
-    outcomes = [run_trial(base.with_(protocol=name)) for name in protocols]
+    outcomes = run_many(
+        [base.with_(protocol=name) for name in protocols], n_workers=n_workers, cache=cache
+    )
     return ComparisonResult(
         topology=topology, n_nodes=n_nodes, distillation=distillation, outcomes=outcomes
     )

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.reporting import render_series
 from repro.analysis.statistics import mean_confidence_interval
 from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
-from repro.experiments.runner import run_trial
+from repro.experiments.runner import run_many
 
 #: The topology families plotted in the figure.
 FIGURE4_TOPOLOGIES: Tuple[str, ...] = ("cycle", "random-grid", "grid")
@@ -109,8 +109,15 @@ def run_figure4(
     seeds: Sequence[int] = (1,),
     n_requests: int = 50,
     n_consumer_pairs: int = 35,
+    n_workers: Optional[int] = 1,
+    cache=None,
 ) -> Figure4Result:
-    """Run the Figure 4 sweep and return the collected series."""
+    """Run the Figure 4 sweep and return the collected series.
+
+    ``n_workers`` and ``cache`` are forwarded to the runtime layer
+    (:func:`repro.experiments.runner.run_many`); the series are
+    bit-identical for any worker count.
+    """
     configs = figure4_configs(
         n_nodes=n_nodes,
         distillation_values=distillation_values,
@@ -119,7 +126,7 @@ def run_figure4(
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
     )
-    outcomes = [run_trial(config) for config in configs]
+    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
     distillations = tuple(sorted({config.distillation for config in configs}))
     return Figure4Result(
         n_nodes=n_nodes,

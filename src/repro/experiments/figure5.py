@@ -14,7 +14,7 @@ from repro.analysis.reporting import render_series
 from repro.analysis.statistics import mean_confidence_interval
 from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
 from repro.experiments.figure4 import FIGURE4_TOPOLOGIES
-from repro.experiments.runner import run_trial
+from repro.experiments.runner import run_many
 
 #: Quick sweep (CI / benchmarks) and full sweep (REPRO_FULL=1) of |N|.
 QUICK_NETWORK_SIZES: Tuple[int, ...] = (9, 16, 25)
@@ -94,8 +94,15 @@ def run_figure5(
     seeds: Sequence[int] = (1,),
     n_requests: int = 50,
     n_consumer_pairs: int = 35,
+    n_workers: Optional[int] = 1,
+    cache=None,
 ) -> Figure5Result:
-    """Run the Figure 5 sweep and return the collected series."""
+    """Run the Figure 5 sweep and return the collected series.
+
+    ``n_workers`` and ``cache`` are forwarded to the runtime layer
+    (:func:`repro.experiments.runner.run_many`); the series are
+    bit-identical for any worker count.
+    """
     configs = figure5_configs(
         distillation=distillation,
         network_sizes=network_sizes,
@@ -104,7 +111,7 @@ def run_figure5(
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
     )
-    outcomes = [run_trial(config) for config in configs]
+    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
     sizes = tuple(sorted({config.n_nodes for config in configs}))
     return Figure5Result(
         distillation=distillation,

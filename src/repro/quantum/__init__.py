@@ -11,6 +11,9 @@ physically grounded layer underneath it:
   density matrices in the test suite).
 * :mod:`repro.quantum.fidelity` -- Werner-state fidelity algebra: swap
   composition, depolarising decay, teleportation fidelity.
+* :mod:`repro.quantum.batch` -- the same algebra vectorized over whole
+  batches of pairs (NumPy array ops), for Monte-Carlo studies that evolve
+  thousands of pairs per step.
 * :mod:`repro.quantum.bell_pair` / :mod:`repro.quantum.memory` -- the Bell
   pair entity and per-node quantum memory used by the entity-level
   simulations.
@@ -25,6 +28,16 @@ physically grounded layer underneath it:
 """
 
 from repro.quantum.bell_pair import BellPair, PairId, pair_key
+from repro.quantum.batch import (
+    BellPairBatch,
+    chained_swap_fidelity_batch,
+    decohered_fidelity_batch,
+    depolarize_batch,
+    distillation_outcomes_batch,
+    swap_fidelity_batch,
+    swap_outcomes_batch,
+    teleportation_fidelity_batch,
+)
 from repro.quantum.decoherence import (
     CutoffPolicy,
     DecoherenceModel,
@@ -58,6 +71,7 @@ from repro.quantum.teleportation import TeleportationOutcome, teleport, teleport
 
 __all__ = [
     "BellPair",
+    "BellPairBatch",
     "CNOT",
     "CZ",
     "CutoffPolicy",
@@ -85,8 +99,12 @@ __all__ = [
     "bbpssw_output_fidelity",
     "bbpssw_success_probability",
     "bell_state",
+    "chained_swap_fidelity_batch",
+    "decohered_fidelity_batch",
     "dejmps_round",
     "depolarize",
+    "depolarize_batch",
+    "distillation_outcomes_batch",
     "distillation_overhead",
     "expected_pairs_for_target",
     "pair_key",
@@ -95,8 +113,11 @@ __all__ = [
     "surface_code_overhead",
     "survival_probability",
     "swap_fidelity",
+    "swap_fidelity_batch",
+    "swap_outcomes_batch",
     "teleport",
     "teleportation_circuit_fidelity",
     "teleportation_fidelity",
+    "teleportation_fidelity_batch",
     "werner_from_fidelity",
 ]

@@ -1,0 +1,164 @@
+"""The parallel sweep runner.
+
+:class:`SweepRunner` takes a flat list of
+:class:`~repro.experiments.config.ExperimentConfig` cells and produces one
+:class:`~repro.experiments.config.TrialOutcome` per cell, in the same
+order, by combining three mechanisms:
+
+1. **Cache lookup** -- cells whose content address is already in the
+   :class:`~repro.runtime.cache.ResultCache` are not recomputed at all.
+2. **Process fan-out** -- the remaining cells are mapped across a
+   ``multiprocessing`` pool using the ``spawn`` start method, the only one
+   that is safe on every platform and immune to fork-time state leakage
+   (inherited RNG state, open file handles, thread locks).
+3. **Deterministic merge** -- outcomes are reassembled into config order,
+   so the caller cannot observe worker count, scheduling, or cache state.
+
+Because :func:`repro.experiments.runner.run_trial` derives every random
+draw from ``config.seed`` alone, the map is embarrassingly parallel and the
+merged result is bit-identical for any ``n_workers``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, TrialOutcome
+from repro.runtime.cache import ResultCache
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """The default worker count: ``$REPRO_WORKERS`` or the machine's CPU count."""
+    value = os.environ.get(WORKERS_ENV, "").strip()
+    if value:
+        try:
+            workers = int(value)
+        except ValueError as error:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {value!r}") from error
+        if workers <= 0:
+            raise ValueError(f"{WORKERS_ENV} must be positive, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def _compute_trial(config: ExperimentConfig) -> TrialOutcome:
+    """Worker entry point: run one trial (top-level so ``spawn`` can pickle it)."""
+    # Imported lazily: repro.experiments.runner itself delegates sweeps to
+    # this module, and a module-level import would make the cycle hard.
+    from repro.experiments.runner import run_trial
+
+    return run_trial(config)
+
+
+@dataclass
+class SweepReport:
+    """The outcomes of one sweep plus where each of them came from."""
+
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+    n_cached: int = 0
+    n_computed: int = 0
+    n_workers: int = 1
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def summary(self) -> str:
+        """One-line provenance summary, e.g. for CLI footers."""
+        return (
+            f"{self.total} trials: {self.n_cached} from cache, "
+            f"{self.n_computed} computed on {self.n_workers} worker(s)"
+        )
+
+
+class SweepRunner:
+    """Runs sweep cells through the cache and a spawn-safe process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Process count for the compute phase.  ``1`` (the default) runs
+        in-process with zero multiprocessing overhead; ``None`` uses
+        :func:`default_workers`.
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching entirely.
+    chunksize:
+        Cells handed to a worker at a time.  The default of 1 maximises
+        load balance, which matters because trial runtimes vary by orders
+        of magnitude across a sweep grid.
+    """
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        chunksize: int = 1,
+    ):
+        resolved = default_workers() if n_workers is None else int(n_workers)
+        if resolved <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if chunksize <= 0:
+            raise ValueError(f"chunksize must be positive, got {chunksize}")
+        self.n_workers = resolved
+        self.cache = cache
+        self.chunksize = chunksize
+
+    def run(self, configs: Sequence[ExperimentConfig]) -> List[TrialOutcome]:
+        """All outcomes, in config order (see :meth:`run_with_report`)."""
+        return self.run_with_report(configs).outcomes
+
+    def run_with_report(self, configs: Sequence[ExperimentConfig]) -> SweepReport:
+        """Run every cell, skipping cached ones, and report provenance counts."""
+        configs = list(configs)
+        report = SweepReport(n_workers=self.n_workers)
+        slots: List[Optional[TrialOutcome]] = [None] * len(configs)
+
+        pending: List[int] = []
+        for index, config in enumerate(configs):
+            cached = self.cache.get(config) if self.cache is not None else None
+            if cached is not None:
+                slots[index] = cached
+                report.n_cached += 1
+            else:
+                pending.append(index)
+
+        for index, outcome in zip(pending, self._compute([configs[i] for i in pending])):
+            slots[index] = outcome
+            report.n_computed += 1
+            if self.cache is not None:
+                self.cache.put(configs[index], outcome)
+
+        unfilled = [index for index, slot in enumerate(slots) if slot is None]
+        if unfilled:  # pool.map returns everything or raises; a hole is a bug here
+            raise RuntimeError(f"sweep left cells {unfilled} without an outcome")
+        report.outcomes = slots
+        return report
+
+    def _compute(self, configs: List[ExperimentConfig]) -> List[TrialOutcome]:
+        if not configs:
+            return []
+        # A pool is pure overhead for a single cell or a single worker.
+        if self.n_workers == 1 or len(configs) == 1:
+            return [_compute_trial(config) for config in configs]
+        context = get_context("spawn")
+        workers = min(self.n_workers, len(configs))
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_compute_trial, configs, chunksize=self.chunksize)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SweepRunner(n_workers={self.n_workers}, cache={self.cache!r})"
+
+
+def run_sweep(
+    configs: Sequence[ExperimentConfig],
+    n_workers: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[TrialOutcome]:
+    """Convenience wrapper: one-shot :class:`SweepRunner` over ``configs``."""
+    return SweepRunner(n_workers=n_workers, cache=cache).run(configs)

@@ -1,0 +1,120 @@
+"""Documentation smoke checks.
+
+The README and the docs/ pages promise things — files, packages, modules,
+CLI subcommands and flags.  These tests parse those promises out of the
+markdown and verify each one against the actual tree, so documentation rot
+fails CI instead of misleading readers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+#: Inline-code tokens that look like repo-relative paths (files or dirs).
+_PATH_TOKEN = re.compile(r"`([A-Za-z0-9_][A-Za-z0-9_./-]*(?:\.py|\.md|/))`")
+#: Markdown links to local files.
+_LOCAL_LINK = re.compile(r"\]\((?!https?://)([^)#]+)\)")
+#: Inline-code dotted module references into the repro package.
+_MODULE_TOKEN = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+#: CLI invocations inside fenced code blocks.
+_CLI_LINE = re.compile(r"python -m repro\s+([a-z0-9]+)")
+#: Long flags shown for the repro CLI.
+_CLI_FLAG = re.compile(r"`(--[a-z-]+)`")
+
+
+def _doc_text() -> str:
+    return "\n\n".join(path.read_text(encoding="utf-8") for path in DOC_FILES)
+
+
+def test_doc_files_exist():
+    for path in DOC_FILES:
+        assert path.is_file(), f"expected documentation file {path}"
+    assert len(DOC_FILES) >= 3  # README + architecture + reproducing
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_referenced_paths_exist(doc):
+    text = doc.read_text(encoding="utf-8")
+    referenced = set(_PATH_TOKEN.findall(text)) | set(_LOCAL_LINK.findall(text))
+    missing = []
+    for token in referenced:
+        candidate = (REPO_ROOT / token.rstrip("/")).resolve()
+        if REPO_ROOT not in candidate.parents and candidate != REPO_ROOT:
+            continue  # absolute/user paths like ~/.cache are not repo promises
+        # Prose may refer to files relative to the repo root or to the
+        # package root (e.g. `core/maxmin/`, `batch.py` in a quantum section).
+        package_relative = REPO_ROOT / "src" / "repro" / token.rstrip("/")
+        if not candidate.exists() and not package_relative.exists():
+            missing.append(token)
+    assert not missing, f"{doc.name} references nonexistent paths: {sorted(missing)}"
+
+
+def test_referenced_modules_import():
+    missing = []
+    for module in sorted(set(_MODULE_TOKEN.findall(_doc_text()))):
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            # A dotted reference may name an attribute (function/class) of a
+            # module rather than a module itself.
+            parent, _, attribute = module.rpartition(".")
+            try:
+                if not hasattr(importlib.import_module(parent), attribute):
+                    missing.append(module)
+            except ImportError:
+                missing.append(module)
+    assert not missing, f"docs reference unimportable modules: {missing}"
+
+
+def test_cli_subcommands_shown_are_real():
+    shown = set(_CLI_LINE.findall(_doc_text()))
+    assert shown, "docs should demonstrate CLI usage"
+    unknown = shown - set(EXPERIMENTS)
+    assert not unknown, f"docs show nonexistent experiments: {sorted(unknown)}"
+    # Everything runnable should also be documented somewhere.
+    undocumented = set(EXPERIMENTS) - shown
+    assert not undocumented, f"experiments missing from docs: {sorted(undocumented)}"
+
+
+def test_cli_flags_shown_are_real():
+    parser_flags = {
+        option
+        for action in build_parser()._actions
+        for option in action.option_strings
+    }
+    shown = {flag for flag in _CLI_FLAG.findall(_doc_text()) if flag != "--help"}
+    unknown = shown - parser_flags
+    assert not unknown, f"docs show nonexistent CLI flags: {sorted(unknown)}"
+
+
+def test_readme_quickstart_snippet_runs():
+    """The README's API quickstart must execute as written."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+    assert blocks, "README should contain a python quickstart block"
+    for block in blocks:
+        exec(compile(block, "<README quickstart>", "exec"), {})
+
+
+def test_package_layout_table_matches_tree():
+    """Every package the README's layout table names must exist (and vice versa)."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    named = set(re.findall(r"`src/repro/([a-z_]+)/`", readme))
+    actual = {
+        path.name
+        for path in (REPO_ROOT / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    }
+    assert named == actual, (
+        f"README layout table out of sync: missing {sorted(actual - named)}, "
+        f"stale {sorted(named - actual)}"
+    )
