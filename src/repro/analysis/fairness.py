@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.incremental import make_balancer
 from repro.core.maxmin.ledger import PairCountLedger
 from repro.network.topology import EdgeKey
 
@@ -45,6 +48,33 @@ def is_max_min_fair(balancer: MaxMinBalancer) -> bool:
     the pair being helped.
     """
     return not balancer.has_preferable_swap()
+
+
+def balanced_fixed_point(
+    ledger: PairCountLedger,
+    overheads: float = 1.0,
+    engine: str = "incremental",
+    max_rounds: int = 10_000,
+    seed: int = 0,
+) -> Tuple[PairCountLedger, MaxMinBalancer, int]:
+    """Balance a *copy* of ``ledger`` to its max-min fixed point.
+
+    Returns ``(converged_ledger, balancer, rounds)``.  ``engine`` picks the
+    balancing implementation (``"naive"`` or ``"incremental"``); under the
+    default deterministic policy both produce the identical fixed point, so
+    analyses can use the fast engine and property tests can cross-check the
+    two.  The input ledger is never mutated.
+    """
+    working = ledger.copy()
+    balancer = make_balancer(
+        engine,
+        working,
+        overheads=overheads,
+        rng=np.random.default_rng(seed),
+        keep_records=False,
+    )
+    rounds = balancer.balance_to_convergence(max_rounds=max_rounds)
+    return working, balancer, rounds
 
 
 def count_imbalance(ledger: PairCountLedger) -> float:

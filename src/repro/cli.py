@@ -23,6 +23,7 @@ from repro.experiments import (
     run_figure4,
     run_figure5,
     run_lp_validation,
+    run_scaling,
 )
 from repro.runtime import ResultCache, seed_grid
 
@@ -58,6 +59,7 @@ def _run_figure4(args: argparse.Namespace) -> str:
         n_requests=args.requests,
         n_workers=args.workers,
         cache=_cache_from(args),
+        balancer=args.balancer or "naive",
     ).format_report()
 
 
@@ -69,6 +71,7 @@ def _run_figure5(args: argparse.Namespace) -> str:
         n_requests=args.requests,
         n_workers=args.workers,
         cache=_cache_from(args),
+        balancer=args.balancer or "naive",
     ).format_report()
 
 
@@ -84,6 +87,7 @@ def _run_comparison(args: argparse.Namespace) -> str:
         n_requests=args.requests,
         n_workers=args.workers,
         cache=_cache_from(args),
+        balancer=args.balancer or "naive",
     ).format_report()
 
 
@@ -93,11 +97,26 @@ def _run_ablations(args: argparse.Namespace) -> str:
         n_requests=args.requests,
         n_workers=args.workers,
         cache=_cache_from(args),
+        balancer=args.balancer or "naive",
     ).format_report()
 
 
 def _run_classical(args: argparse.Namespace) -> str:
     return run_classical_overhead(n_nodes=args.nodes).format_report()
+
+
+def _run_scaling(args: argparse.Namespace) -> str:
+    # Without an explicit --balancer the sweep runs both engines on each
+    # cell, which also cross-checks that their fixed points agree.
+    engines = (args.balancer,) if args.balancer else ("naive", "incremental")
+    # Same --master-seed semantics as the other sweeps: the workload seed
+    # is SHA-256-derived, never used verbatim.
+    seed = seed_grid(args.master_seed, 1)[0] if args.master_seed is not None else 1
+    return run_scaling(
+        sizes=args.sizes or None,
+        engines=engines,
+        seed=seed,
+    ).format_report()
 
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
@@ -107,6 +126,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "comparison": _run_comparison,
     "ablations": _run_ablations,
     "classical": _run_classical,
+    "scaling": _run_scaling,
 }
 
 
@@ -142,8 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="distillation overhead D for single-point experiments",
     )
-    parser.add_argument("--sizes", type=int, nargs="*", help="network sizes |N| to sweep (figure5)")
+    parser.add_argument(
+        "--sizes", type=int, nargs="*", help="network sizes |N| to sweep (figure5, scaling)"
+    )
     parser.add_argument("--topology", default="cycle", help="topology name for the comparison experiment")
+    parser.add_argument(
+        "--balancer",
+        choices=("naive", "incremental"),
+        default=None,
+        help="balancing engine: 'naive' (full rescan) or 'incremental' (dirty-set, "
+        "identical results, much faster on large topologies); the scaling "
+        "experiment runs both when the flag is omitted",
+    )
     parser.add_argument(
         "--workers",
         type=_positive_int,

@@ -9,10 +9,18 @@ the *preferable* swap that most helps its worst-off entanglement partner.
   remote counts (global vs gossip dissemination, Section 6),
 * :mod:`repro.core.maxmin.policy` -- tie-breaking rules among preferable
   candidates (min-recipient, random, distance-weighted),
-* :mod:`repro.core.maxmin.balancer` -- the round-based algorithm itself.
+* :mod:`repro.core.maxmin.balancer` -- the round-based algorithm itself,
+* :mod:`repro.core.maxmin.incremental` -- the dirty-set incremental engine
+  (same fixed points, O(affected) work per mutation; use
+  :func:`make_balancer` to pick an engine by name).
 """
 
 from repro.core.maxmin.balancer import MaxMinBalancer, SwapRecord
+from repro.core.maxmin.incremental import (
+    BALANCER_ENGINES,
+    IncrementalMaxMinBalancer,
+    make_balancer,
+)
 from repro.core.maxmin.knowledge import GlobalKnowledge, GossipKnowledge, KnowledgeModel
 from repro.core.maxmin.ledger import PairCountLedger
 from repro.core.maxmin.policy import (
@@ -24,10 +32,12 @@ from repro.core.maxmin.policy import (
 )
 
 __all__ = [
+    "BALANCER_ENGINES",
     "BalancingPolicy",
     "DistanceWeightedPolicy",
     "GlobalKnowledge",
     "GossipKnowledge",
+    "IncrementalMaxMinBalancer",
     "KnowledgeModel",
     "MaxMinBalancer",
     "MinRecipientCountPolicy",
@@ -35,4 +45,5 @@ __all__ = [
     "RandomPreferablePolicy",
     "SwapCandidate",
     "SwapRecord",
+    "make_balancer",
 ]

@@ -10,11 +10,14 @@ the count-level simulations; the knowledge models in
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.network.topology import EdgeKey, edge_key
 
 NodeId = Hashable
+
+#: Signature of a mutation listener: ``(node_a, node_b, old_count, new_count)``.
+MutationListener = Callable[[NodeId, NodeId, int, int], None]
 
 
 class PairCountLedger:
@@ -22,12 +25,35 @@ class PairCountLedger:
 
     Counts are non-negative integers; every mutation keeps the two
     directions consistent (``C_x(y) == C_y(x)`` always holds).
+
+    Observers (e.g. the incremental balancing engine) can :meth:`subscribe`
+    to be notified after every :meth:`add`/:meth:`remove`, which is what
+    makes O(affected) candidate invalidation possible without the ledger
+    knowing anything about balancing.
     """
 
     def __init__(self, nodes: Optional[Iterable[NodeId]] = None):
         self._counts: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._listeners: List[MutationListener] = []
         for node in nodes or []:
             self.ensure_node(node)
+
+    # ------------------------------------------------------------------ #
+    # Mutation listeners
+    # ------------------------------------------------------------------ #
+    def subscribe(self, listener: MutationListener) -> None:
+        """Register ``listener`` to be called after every count mutation."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: MutationListener) -> None:
+        """Remove a previously subscribed listener (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, node_a: NodeId, node_b: NodeId, old_count: int, new_count: int) -> None:
+        for listener in self._listeners:
+            listener(node_a, node_b, old_count, new_count)
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -57,9 +83,12 @@ class PairCountLedger:
             raise ValueError(f"amount must be positive, got {amount}")
         self.ensure_node(node_a)
         self.ensure_node(node_b)
-        new_count = self.count(node_a, node_b) + int(amount)
+        old_count = self.count(node_a, node_b)
+        new_count = old_count + int(amount)
         self._counts[node_a][node_b] = new_count
         self._counts[node_b][node_a] = new_count
+        if self._listeners:
+            self._notify(node_a, node_b, old_count, new_count)
         return new_count
 
     def remove(self, node_a: NodeId, node_b: NodeId, amount: int = 1) -> int:
@@ -79,6 +108,8 @@ class PairCountLedger:
         else:
             self._counts[node_a][node_b] = new_count
             self._counts[node_b][node_a] = new_count
+        if self._listeners:
+            self._notify(node_a, node_b, current, new_count)
         return new_count
 
     # ------------------------------------------------------------------ #
@@ -87,6 +118,15 @@ class PairCountLedger:
     def partners(self, node: NodeId) -> Dict[NodeId, int]:
         """Nodes with which ``node`` currently shares pairs, and the counts."""
         return {partner: count for partner, count in self._counts.get(node, {}).items() if count > 0}
+
+    def partner_view(self, node: NodeId) -> Dict[NodeId, int]:
+        """Live read-only view of :meth:`partners` (no copy — do not mutate).
+
+        Zero-count entries are never stored, so the view always matches
+        :meth:`partners`; hot paths (the incremental balancer) use it to
+        avoid rebuilding a dict per lookup.
+        """
+        return self._counts.get(node, {})
 
     def entanglement_degree(self, node: NodeId) -> int:
         """Number of distinct partners ``node`` shares at least one pair with."""

@@ -10,7 +10,9 @@ One module per experiment of the per-experiment index in DESIGN.md:
 * :mod:`repro.experiments.comparison` -- path-oblivious vs planned-path
   baselines,
 * :mod:`repro.experiments.ablations` -- design-choice ablations,
-* :mod:`repro.experiments.classical_overhead` -- control-plane cost.
+* :mod:`repro.experiments.classical_overhead` -- control-plane cost,
+* :mod:`repro.experiments.scaling` -- max-min balancing on 200-1000-node
+  Waxman/grid/Erdős–Rényi topologies (naive vs incremental engine).
 
 Every experiment exposes a ``run_*`` function returning a result object with
 ``series()`` / ``rows()`` accessors and a ``format_report()`` renderer; the
@@ -35,6 +37,7 @@ from repro.experiments.lp_validation import LPValidationResult, run_lp_validatio
 from repro.experiments.comparison import ComparisonResult, run_comparison
 from repro.experiments.ablations import AblationResult, run_ablations
 from repro.experiments.classical_overhead import ClassicalOverheadResult, run_classical_overhead
+from repro.experiments.scaling import ScalingResult, run_scaling
 
 __all__ = [
     "AblationResult",
@@ -44,6 +47,7 @@ __all__ = [
     "Figure4Result",
     "Figure5Result",
     "LPValidationResult",
+    "ScalingResult",
     "TrialOutcome",
     "full_mode_enabled",
     "run_ablations",
@@ -53,5 +57,6 @@ __all__ = [
     "run_figure5",
     "run_lp_validation",
     "run_many",
+    "run_scaling",
     "run_trial",
 ]

@@ -12,7 +12,10 @@ fixed workload:
 * ``density``        -- extra generation edges beyond bare connectivity on
   the random grid (the "well-provisioned network" argument of §2),
 * ``recurrence``     -- exact vs paper-literal overhead denominator (a
-  measurement ablation: same runs, different metric).
+  measurement ablation: same runs, different metric),
+* ``balancer``       -- naive full-rescan vs incremental dirty-set engine
+  (an implementation ablation: the two must report identical physics, so
+  this axis doubles as an end-to-end equivalence check).
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ ABLATION_AXES: Tuple[str, ...] = (
     "hybrid",
     "density",
     "recurrence",
+    "balancer",
 )
 
 
@@ -148,6 +152,10 @@ def ablation_variants(
     if "recurrence" in axes:
         variants.append(("recurrence", "exact-denominator", base))
 
+    if "balancer" in axes:
+        for engine in ("naive", "incremental"):
+            variants.append(("balancer", engine, base.with_(balancer=engine)))
+
     return variants
 
 
@@ -161,6 +169,7 @@ def run_ablations(
     seed: int = 5,
     n_workers: Optional[int] = 1,
     cache=None,
+    balancer: str = "naive",
 ) -> AblationResult:
     """Run the requested ablation axes on a shared base workload.
 
@@ -176,6 +185,7 @@ def run_ablations(
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
         seed=seed,
+        balancer=balancer,
     )
     result = AblationResult(base_config=base)
     variants = ablation_variants(base, axes)

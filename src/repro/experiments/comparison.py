@@ -80,8 +80,13 @@ def run_comparison(
     max_rounds: int = 200_000,
     n_workers: Optional[int] = 1,
     cache=None,
+    balancer: str = "naive",
 ) -> ComparisonResult:
-    """Run every protocol on the identical workload and collect the outcomes."""
+    """Run every protocol on the identical workload and collect the outcomes.
+
+    ``balancer`` selects the path-oblivious balancing engine; the planned
+    baselines ignore it.
+    """
     base = ExperimentConfig(
         topology=topology,
         n_nodes=n_nodes,
@@ -90,6 +95,7 @@ def run_comparison(
         n_requests=n_requests,
         seed=seed,
         max_rounds=max_rounds,
+        balancer=balancer,
     )
     outcomes = run_many(
         [base.with_(protocol=name) for name in protocols], n_workers=n_workers, cache=cache

@@ -47,6 +47,7 @@ class ExperimentConfig:
     knowledge: str = "global"
     gossip_fanout: int = 3
     policy: str = "min-recipient"
+    balancer: str = "naive"
     policy_max_detour: Optional[int] = None
     qec_overhead: float = 1.0
     loss_factor: float = 1.0
@@ -69,6 +70,10 @@ class ExperimentConfig:
             raise ValueError(f"loss_factor must be in (0, 1], got {self.loss_factor}")
         if self.qec_overhead < 1.0:
             raise ValueError(f"qec_overhead must be >= 1, got {self.qec_overhead}")
+        if self.balancer not in ("naive", "incremental"):
+            raise ValueError(
+                f"balancer must be 'naive' or 'incremental', got {self.balancer!r}"
+            )
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A copy with some fields replaced (convenience for sweeps)."""

@@ -79,6 +79,7 @@ def figure4_configs(
     seeds: Sequence[int] = (1,),
     n_requests: int = 50,
     n_consumer_pairs: int = 35,
+    balancer: str = "naive",
 ) -> List[ExperimentConfig]:
     """The config grid behind Figure 4."""
     if distillation_values is None:
@@ -97,6 +98,7 @@ def figure4_configs(
                         n_consumer_pairs=n_consumer_pairs,
                         n_requests=n_requests,
                         seed=seed,
+                        balancer=balancer,
                     )
                 )
     return configs
@@ -111,12 +113,14 @@ def run_figure4(
     n_consumer_pairs: int = 35,
     n_workers: Optional[int] = 1,
     cache=None,
+    balancer: str = "naive",
 ) -> Figure4Result:
     """Run the Figure 4 sweep and return the collected series.
 
     ``n_workers`` and ``cache`` are forwarded to the runtime layer
     (:func:`repro.experiments.runner.run_many`); the series are
-    bit-identical for any worker count.
+    bit-identical for any worker count.  ``balancer`` selects the balancing
+    engine (``naive``/``incremental``); both produce identical series.
     """
     configs = figure4_configs(
         n_nodes=n_nodes,
@@ -125,6 +129,7 @@ def run_figure4(
         seeds=seeds,
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
+        balancer=balancer,
     )
     outcomes = run_many(configs, n_workers=n_workers, cache=cache)
     distillations = tuple(sorted({config.distillation for config in configs}))

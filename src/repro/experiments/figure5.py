@@ -66,6 +66,7 @@ def figure5_configs(
     seeds: Sequence[int] = (1,),
     n_requests: int = 50,
     n_consumer_pairs: int = 35,
+    balancer: str = "naive",
 ) -> List[ExperimentConfig]:
     """The config grid behind Figure 5."""
     if network_sizes is None:
@@ -82,6 +83,7 @@ def figure5_configs(
                         n_consumer_pairs=n_consumer_pairs,
                         n_requests=n_requests,
                         seed=seed,
+                        balancer=balancer,
                     )
                 )
     return configs
@@ -96,12 +98,14 @@ def run_figure5(
     n_consumer_pairs: int = 35,
     n_workers: Optional[int] = 1,
     cache=None,
+    balancer: str = "naive",
 ) -> Figure5Result:
     """Run the Figure 5 sweep and return the collected series.
 
     ``n_workers`` and ``cache`` are forwarded to the runtime layer
     (:func:`repro.experiments.runner.run_many`); the series are
-    bit-identical for any worker count.
+    bit-identical for any worker count.  ``balancer`` selects the balancing
+    engine (``naive``/``incremental``); both produce identical series.
     """
     configs = figure5_configs(
         distillation=distillation,
@@ -110,6 +114,7 @@ def run_figure5(
         seeds=seeds,
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
+        balancer=balancer,
     )
     outcomes = run_many(configs, n_workers=n_workers, cache=cache)
     sizes = tuple(sorted({config.n_nodes for config in configs}))

@@ -105,6 +105,7 @@ def build_protocol(
             policy=None,  # placeholder, replaced below once the ledger exists
             swaps_per_node_per_round=config.swaps_per_node_per_round,
             use_hybrid_fallback=config.use_hybrid_fallback,
+            balancer_engine=config.balancer,
             **common,
         )
         protocol.balancer.policy = _build_policy(config, topology) or protocol.balancer.policy

@@ -1,0 +1,250 @@
+"""Large-topology balancing scaling experiment.
+
+The paper evaluates max-min balancing on ~25-node networks; this experiment
+pushes the balancing core to 200–1000-node Waxman, wraparound-grid and
+Erdős–Rényi generation graphs — the regime the incremental engine
+(:mod:`repro.core.maxmin.incremental`) exists for.
+
+The workload models a provisioning imbalance: every generation edge starts
+with a few Bell pairs and a small fraction of "hot" edges hold deep buffers
+(freshly provisioned high-rate links).  Balancing must drain the hot edges
+into the network, which exercises the long convergence tail where the naive
+engine rescans every node every round while only a handful still have
+preferable swaps.
+
+Each row reports the converged fixed point (rounds, swaps, residual
+imbalance) and the wall-clock seconds per engine; running both engines on
+the same cell doubles as an end-to-end equivalence check, since the fixed
+points must be identical.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.fairness import balanced_fixed_point, count_imbalance
+from repro.analysis.reporting import format_table
+from repro.core.maxmin.incremental import BALANCER_ENGINES
+from repro.core.maxmin.ledger import PairCountLedger
+from repro.experiments.config import full_mode_enabled
+from repro.network.topologies import topology_from_name
+from repro.network.topology import Topology
+from repro.sim.rng import RandomStreams
+
+#: The large-topology families this experiment sweeps.
+SCALING_TOPOLOGIES: Tuple[str, ...] = ("waxman", "grid", "erdos-renyi")
+
+#: Quick sweep (CI / benchmarks) and full sweep (REPRO_FULL=1) of |N|.
+QUICK_SCALING_SIZES: Tuple[int, ...] = (200,)
+FULL_SCALING_SIZES: Tuple[int, ...] = (200, 500, 1000)
+
+
+@dataclass
+class ScalingRow:
+    """One (topology, |N|, engine) cell of the scaling sweep.
+
+    ``n_nodes`` is the requested cell size (the sweep key); ``actual_nodes``
+    is the built graph's size, which differs only for grids (snapped to the
+    nearest perfect square).
+    """
+
+    topology: str
+    n_nodes: int
+    actual_nodes: int
+    engine: str
+    ledger_pairs_before: int
+    imbalance_before: float
+    imbalance_after: float
+    rounds: int
+    swaps: int
+    seconds: float
+
+
+@dataclass
+class ScalingResult:
+    """All scaling rows, with per-cell speedup accessors."""
+
+    sizes: Tuple[int, ...]
+    topologies: Tuple[str, ...]
+    engines: Tuple[str, ...]
+    rows: List[ScalingRow] = field(default_factory=list)
+
+    def row_for(self, topology: str, n_nodes: int, engine: str) -> Optional[ScalingRow]:
+        for row in self.rows:
+            if (row.topology, row.n_nodes, row.engine) == (topology, n_nodes, engine):
+                return row
+        return None
+
+    def speedup(self, topology: str, n_nodes: int) -> Optional[float]:
+        """``naive seconds / incremental seconds`` for one cell (None if absent)."""
+        naive = self.row_for(topology, n_nodes, "naive")
+        incremental = self.row_for(topology, n_nodes, "incremental")
+        if naive is None or incremental is None or incremental.seconds == 0:
+            return None
+        return naive.seconds / incremental.seconds
+
+    def format_report(self) -> str:
+        headers = (
+            "topology",
+            "|N|",
+            "engine",
+            "pairs",
+            "imbalance",
+            "rounds",
+            "swaps",
+            "seconds",
+        )
+        table_rows = [
+            (
+                row.topology,
+                row.actual_nodes,
+                row.engine,
+                row.ledger_pairs_before,
+                f"{row.imbalance_before:g}->{row.imbalance_after:g}",
+                row.rounds,
+                row.swaps,
+                f"{row.seconds:.3f}",
+            )
+            for row in self.rows
+        ]
+        lines = [format_table(headers, table_rows, title="Scaling: balancing on large topologies")]
+        for topology in self.topologies:
+            for size in self.sizes:
+                ratio = self.speedup(topology, size)
+                if ratio is not None:
+                    lines.append(f"  {topology} |N|={size}: incremental speedup {ratio:.1f}x")
+        return "\n".join(lines)
+
+
+def scaling_topology(
+    name: str, n_nodes: int, streams: RandomStreams
+) -> Topology:
+    """Build one large generation graph, keeping the mean degree sane.
+
+    The registry defaults are tuned for paper-scale (~25 node) networks and
+    become very dense at |N| >= 200 (Waxman's default alpha/beta give mean
+    degree ~90 at 500 nodes); this picks sparser parameters so balancing
+    cost reflects topology size rather than accidental density.  Grid sizes
+    are snapped to the nearest perfect square.
+    """
+    rng = streams.get("topology")
+    if name == "grid":
+        side = max(2, int(round(math.sqrt(n_nodes))))
+        return topology_from_name(name, side * side, rng=rng)
+    if name == "waxman":
+        # With beta=0.3 the mean edge probability is ~0.29*alpha on the unit
+        # square; pick alpha for a mean degree of ~10 regardless of |N|
+        # (well above the ~ln|N| connectivity threshold up to 1000 nodes).
+        alpha = min(0.6, 10.0 / (0.29 * n_nodes))
+        return topology_from_name(name, n_nodes, rng=rng, alpha=alpha, beta=0.3)
+    if name == "erdos-renyi":
+        probability = min(0.3, max(10.0 / n_nodes, 1.5 * math.log(n_nodes) / n_nodes))
+        return topology_from_name(name, n_nodes, rng=rng, edge_probability=probability)
+    return topology_from_name(name, n_nodes, rng=rng)
+
+
+def build_scaling_ledger(
+    topology: str,
+    n_nodes: int,
+    seed: int = 1,
+    base_pairs: int = 4,
+    hot_fraction: float = 0.02,
+    hot_depth: int = 300,
+) -> Tuple[Topology, PairCountLedger]:
+    """The provisioning-imbalance workload behind one scaling cell.
+
+    Every generation edge receives 1..``base_pairs`` pairs; a
+    ``hot_fraction`` of edges additionally receive ``hot_depth`` pairs.
+    Deterministic in ``seed`` (named RNG streams, like every trial).
+    """
+    streams = RandomStreams(seed)
+    graph = scaling_topology(topology, n_nodes, streams)
+    rng = streams.get("scaling-counts")
+    ledger = PairCountLedger(graph.nodes)
+    edges = graph.edges()
+    for edge in edges:
+        ledger.add(edge[0], edge[1], int(rng.integers(1, base_pairs + 1)))
+    n_hot = max(1, int(len(edges) * hot_fraction))
+    for index in rng.choice(len(edges), size=n_hot, replace=False):
+        edge = edges[int(index)]
+        ledger.add(edge[0], edge[1], hot_depth)
+    return graph, ledger
+
+
+def run_scaling(
+    topologies: Sequence[str] = SCALING_TOPOLOGIES,
+    sizes: Optional[Sequence[int]] = None,
+    engines: Sequence[str] = ("naive", "incremental"),
+    seed: int = 1,
+    distillation: float = 1.0,
+    max_rounds: int = 200_000,
+    base_pairs: int = 4,
+    hot_fraction: float = 0.02,
+    hot_depth: int = 300,
+) -> ScalingResult:
+    """Run the large-topology balancing sweep.
+
+    Every engine in ``engines`` balances an identical copy of each cell's
+    ledger; when both engines run, the fixed points are asserted identical
+    (the incremental engine's contract) before the result is returned.
+    """
+    unknown = [engine for engine in engines if engine not in BALANCER_ENGINES]
+    if unknown:
+        raise ValueError(f"unknown balancer engines {unknown}; choose from {BALANCER_ENGINES}")
+    if sizes is None:
+        sizes = FULL_SCALING_SIZES if full_mode_enabled() else QUICK_SCALING_SIZES
+    result = ScalingResult(
+        sizes=tuple(int(size) for size in sizes),
+        topologies=tuple(topologies),
+        engines=tuple(engines),
+    )
+    for topology in topologies:
+        for size in result.sizes:
+            graph, seeded = build_scaling_ledger(
+                topology,
+                size,
+                seed=seed,
+                base_pairs=base_pairs,
+                hot_fraction=hot_fraction,
+                hot_depth=hot_depth,
+            )
+            imbalance_before = count_imbalance(seeded)
+            pairs_before = seeded.total_pairs()
+            fixed_points: Dict[str, Dict] = {}
+            for engine in engines:
+                start = time.perf_counter()
+                converged, balancer, rounds = balanced_fixed_point(
+                    seeded,
+                    overheads=distillation,
+                    engine=engine,
+                    max_rounds=max_rounds,
+                    seed=seed,
+                )
+                elapsed = time.perf_counter() - start
+                fixed_points[engine] = converged.nonzero_pairs()
+                result.rows.append(
+                    ScalingRow(
+                        topology=topology,
+                        n_nodes=size,
+                        actual_nodes=graph.n_nodes,
+                        engine=engine,
+                        ledger_pairs_before=pairs_before,
+                        imbalance_before=imbalance_before,
+                        imbalance_after=count_imbalance(converged),
+                        rounds=rounds,
+                        swaps=balancer.swaps_performed,
+                        seconds=elapsed,
+                    )
+                )
+            if len(fixed_points) > 1:
+                reference = fixed_points[engines[0]]
+                for engine, pairs in fixed_points.items():
+                    if pairs != reference:
+                        raise RuntimeError(
+                            f"balancer engines disagree on ({topology}, |N|={size}): "
+                            f"{engines[0]} vs {engine}"
+                        )
+    return result

@@ -19,6 +19,7 @@ from typing import Dict, Hashable, Optional, Union
 from repro.core.hybrid import HybridPlanner
 from repro.core.lp.extensions import PairOverheads
 from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.incremental import make_balancer
 from repro.core.maxmin.knowledge import GlobalKnowledge, KnowledgeModel
 from repro.core.maxmin.policy import BalancingPolicy
 from repro.network.demand import ConsumptionRequest, RequestSequence
@@ -46,6 +47,11 @@ class PathObliviousProtocol(SwappingProtocol):
         current entanglement graph before giving up for the round.
     hybrid_max_hops:
         Longest entanglement-graph path the hybrid fallback will attempt.
+    balancer_engine:
+        Which balancing engine runs the protocol: ``"naive"`` (the original
+        full-rescan :class:`MaxMinBalancer`) or ``"incremental"`` (the
+        dirty-set engine, identical fixed points, much faster on large
+        topologies).
     """
 
     name = "path-oblivious"
@@ -64,6 +70,7 @@ class PathObliviousProtocol(SwappingProtocol):
         swaps_per_node_per_round: int = 1,
         use_hybrid_fallback: bool = False,
         hybrid_max_hops: Optional[int] = 6,
+        balancer_engine: str = "naive",
     ):
         super().__init__(
             topology=topology,
@@ -81,8 +88,9 @@ class PathObliviousProtocol(SwappingProtocol):
         )
         if knowledge.ledger is not self.ledger:
             raise ValueError("the knowledge model must be built over this protocol's ledger")
-        self.balancer = MaxMinBalancer(
-            ledger=self.ledger,
+        self.balancer = make_balancer(
+            balancer_engine,
+            self.ledger,
             overheads=self.overheads,
             policy=policy,
             knowledge=knowledge,

@@ -148,12 +148,20 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.pkl"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps up orphaned ``*.tmp`` files left behind by writers
+        killed between creating their temporary file and the atomic rename
+        in :meth:`put` (those are invisible to :meth:`get`/:meth:`__len__`
+        but would otherwise accumulate forever).
+        """
         removed = 0
         if self.directory.exists():
             for path in self.directory.glob("*.pkl"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.directory.glob("*.tmp"):
+                path.unlink(missing_ok=True)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -27,15 +27,41 @@ class StopSimulation(Exception):
 
 
 class EventQueue:
-    """A binary-heap priority queue of :class:`SimEvent` objects."""
+    """A binary-heap priority queue of :class:`SimEvent` objects.
+
+    Cancelled events are counted in O(1) (the queue registers itself as the
+    event's ``owner``) and physically removed by a lazy compaction pass once
+    they exceed half the heap, so cancel-heavy workloads (timeout/cutoff
+    policies cancelling most of what they schedule) keep the heap bounded by
+    ~2x the live event count instead of growing without limit.
+    """
+
+    #: Compaction never triggers below this heap size (rebuilds would cost
+    #: more than they save).
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._heap: List[SimEvent] = []
+        self._cancelled = 0
 
     def push(self, event: SimEvent) -> SimEvent:
         """Insert ``event`` and return it (handy for later cancellation)."""
+        event.owner = self
+        if event.cancelled:
+            self._cancelled += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def note_cancelled(self, event: SimEvent) -> None:
+        """Called by :meth:`SimEvent.cancel` while the event sits in this queue."""
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        if len(self._heap) >= self.COMPACT_MIN_SIZE and 2 * self._cancelled >= len(self._heap):
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def pop(self) -> SimEvent:
         """Remove and return the earliest non-cancelled event.
@@ -48,19 +74,22 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event.owner = None
                 return event
+            self._cancelled -= 1
         raise IndexError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None`` if empty."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if not self._heap:
             return None
         return self._heap[0].time
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -160,24 +189,31 @@ class SimulationEngine:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or a handler stops the run.
 
+        A :meth:`stop` requested *before* the run starts is honoured: the
+        loop exits immediately without dispatching anything.  Each run
+        consumes the stop request on exit, so a subsequent ``run()`` call
+        resumes normally.
+
         Returns
         -------
         float
             The simulated time at which the run ended.
         """
-        self._stopped = False
-        while not self._stopped:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                self.clock.advance_to(until)
-                break
-            event = self.queue.pop()
-            self.clock.advance_to(event.time)
-            self._dispatch(event)
-            if event.event_type is EventType.END_OF_SIMULATION:
-                break
+        try:
+            while not self._stopped:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.clock.advance_to(until)
+                    break
+                event = self.queue.pop()
+                self.clock.advance_to(event.time)
+                self._dispatch(event)
+                if event.event_type is EventType.END_OF_SIMULATION:
+                    break
+        finally:
+            self._stopped = False
         return self.clock.now
 
     def _dispatch(self, event: SimEvent) -> None:
@@ -189,9 +225,11 @@ class SimulationEngine:
             )
         if self.trace is not None:
             self.trace.record(event.time, event.event_type.value, dict(event.payload))
+        # A handler raising StopSimulation ends the run *after* this event:
+        # the remaining registered handlers still see it, so co-registered
+        # observers (metrics, traces, cleanup) are never silently skipped.
         for handler in list(self._handlers.get(event.event_type, [])):
             try:
                 handler(event)
             except StopSimulation:
                 self._stopped = True
-                return

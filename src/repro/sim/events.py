@@ -57,10 +57,17 @@ class SimEvent:
     priority: int = 0
     sequence: int = field(default_factory=lambda: next(_EVENT_SEQUENCE))
     cancelled: bool = False
+    #: The queue currently holding this event (set by the queue itself so it
+    #: can track cancellations in O(1) and compact lazily).
+    owner: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it on dispatch."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner.note_cancelled(self)
 
     def sort_key(self) -> tuple:
         """The total order used by the event queue."""

@@ -46,6 +46,27 @@ class TestCLI:
         assert main(["lp", "--nodes", "9"]) == 0
         assert "E3" in capsys.readouterr().out
 
+    def test_balancer_flag_parses_and_rejects_unknown(self):
+        args = build_parser().parse_args(["figure4", "--balancer", "incremental"])
+        assert args.balancer == "incremental"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--balancer", "telepathy"])
+
+    def test_balancer_flag_does_not_change_figure4_numbers(self, capsys):
+        """--balancer incremental must report the exact same series."""
+        base = ["figure4", "--nodes", "9", "--requests", "6", "--distillation", "1"]
+        assert main(base) == 0
+        naive_output = capsys.readouterr().out
+        assert main(base + ["--balancer", "incremental"]) == 0
+        incremental_output = capsys.readouterr().out
+        assert naive_output == incremental_output
+
+    def test_scaling_experiment_end_to_end(self, capsys):
+        assert main(["scaling", "--sizes", "100", "--balancer", "incremental"]) == 0
+        output = capsys.readouterr().out
+        assert "Scaling" in output
+        assert "incremental" in output
+
 
 class TestIntegrationPaperWorkload:
     """End-to-end runs exercising the paper's exact experimental recipe (scaled down)."""

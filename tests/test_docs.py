@@ -96,6 +96,20 @@ def test_cli_flags_shown_are_real():
     assert not unknown, f"docs show nonexistent CLI flags: {sorted(unknown)}"
 
 
+def test_every_cli_flag_is_documented():
+    """The reverse direction: adding a CLI flag without documenting it
+    (in a backticked ``--flag`` token somewhere under README/docs) fails CI."""
+    parser_flags = {
+        option
+        for action in build_parser()._actions
+        for option in action.option_strings
+        if option.startswith("--") and option != "--help"
+    }
+    documented = set(_CLI_FLAG.findall(_doc_text()))
+    undocumented = parser_flags - documented
+    assert not undocumented, f"CLI flags missing from the docs: {sorted(undocumented)}"
+
+
 def test_readme_quickstart_snippet_runs():
     """The README's API quickstart must execute as written."""
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")

@@ -199,6 +199,24 @@ class TestOtherExperiments:
         with pytest.raises(ValueError):
             run_ablations(axes=("coffee",), n_nodes=9)
 
+    def test_ablations_balancer_axis_reports_identical_physics(self):
+        """The naive/incremental axis is an end-to-end equivalence check."""
+        result = run_ablations(
+            axes=("balancer",),
+            topology="cycle",
+            n_nodes=9,
+            distillation=1.0,
+            n_requests=6,
+            n_consumer_pairs=4,
+        )
+        rows = {row.variant: row for row in result.rows_for("balancer")}
+        assert set(rows) == {"naive", "incremental"}
+        naive, incremental = rows["naive"], rows["incremental"]
+        assert naive.swaps == incremental.swaps
+        assert naive.rounds == incremental.rounds
+        assert naive.overhead_exact == incremental.overhead_exact
+        assert naive.satisfied == incremental.satisfied
+
     def test_classical_overhead_gossip_cheaper(self):
         result = run_classical_overhead(topology_name="cycle", n_nodes=9, rounds=10, gossip_fanouts=(2,))
         strategies = {row.strategy: row for row in result.rows}

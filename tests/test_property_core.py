@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.fairness import is_max_min_fair
 from repro.core.maxmin.balancer import MaxMinBalancer
+from repro.core.maxmin.incremental import IncrementalMaxMinBalancer
 from repro.core.maxmin.ledger import PairCountLedger
 from repro.protocols.nested import nested_swap_count, sequential_swap_count
 from repro.sim.metrics import Histogram
@@ -97,6 +98,35 @@ class TestBalancerProperties:
         total_after = ledger.total_pairs()
         expected_loss = balancer.swaps_performed * (2 * distillation - 1)
         assert total_before - total_after == expected_loss
+
+    @settings(deadline=None, max_examples=40)
+    @given(initial_counts, st.integers(min_value=1, max_value=3))
+    def test_incremental_engine_reaches_identical_fixed_point(self, counts, distillation):
+        """The incremental engine's contract: bit-identical ledger fixed
+        points, round counts and swap sequences under the deterministic
+        policy — verified candidate-by-candidate via self_check."""
+        naive_ledger = PairCountLedger(range(6))
+        incremental_ledger = PairCountLedger(range(6))
+        for (a, b), value in counts.items():
+            naive_ledger.add(a, b, value)
+            incremental_ledger.add(a, b, value)
+        naive = MaxMinBalancer(
+            naive_ledger,
+            overheads=float(distillation),
+            rng=np.random.default_rng(0),
+        )
+        incremental = IncrementalMaxMinBalancer(
+            incremental_ledger,
+            overheads=float(distillation),
+            rng=np.random.default_rng(0),
+            self_check=True,
+        )
+        naive_rounds = naive.balance_to_convergence(max_rounds=5000)
+        incremental_rounds = incremental.balance_to_convergence(max_rounds=5000)
+        assert naive_ledger.nonzero_pairs() == incremental_ledger.nonzero_pairs()
+        assert naive_rounds == incremental_rounds
+        assert naive.records == incremental.records
+        assert is_max_min_fair(incremental)
 
     @settings(deadline=None, max_examples=30)
     @given(initial_counts)

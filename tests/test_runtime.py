@@ -143,6 +143,22 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        """Regression: a writer killed before its atomic rename leaves a
+        ``*.tmp`` file that ``clear()`` used to skip forever."""
+        cache = ResultCache(tmp_path)
+        config = _tiny_configs()[0]
+        outcome = SweepRunner(n_workers=1).run([config])[0]
+        cache.put(config, outcome)
+        orphan = tmp_path / "tmpdead.tmp"
+        orphan.write_bytes(b"half-written pickle")
+        assert cache.clear() == 1  # one real entry...
+        assert not orphan.exists()  # ...and the orphan is swept up too
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The cache still works after the sweep.
+        cache.put(config, outcome)
+        assert cache.get(config) is not None
+
 
 class TestSweepRunner:
     def test_rejects_bad_arguments(self):

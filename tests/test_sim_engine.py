@@ -47,6 +47,46 @@ class TestEventQueue:
         queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
         assert queue
 
+    def test_heap_stays_bounded_under_cancel_heavy_workload(self):
+        """Regression: cancelled events used to sit in the heap forever."""
+        queue = EventQueue()
+        live = queue.push(SimEvent(time=10_000.0, event_type=EventType.SWAP))
+        for i in range(5_000):
+            event = queue.push(SimEvent(time=float(i), event_type=EventType.TIMER))
+            event.cancel()
+        # Lazy compaction keeps the heap within ~2x the live count (plus the
+        # minimum size below which compaction never runs).
+        assert len(queue._heap) <= queue.COMPACT_MIN_SIZE
+        assert len(queue) == 1
+        assert queue.pop() is live
+
+    def test_len_is_constant_time_and_correct_after_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(SimEvent(time=float(i), event_type=EventType.SWAP)) for i in range(200)]
+        for event in events[::2]:
+            event.cancel()
+        assert len(queue) == 100
+        # Every live event is still delivered, in order.
+        popped = [queue.pop().time for _ in range(100)]
+        assert popped == [float(i) for i in range(1, 200, 2)]
+        assert len(queue) == 0
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        first = queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
+        queue.push(SimEvent(time=2.0, event_type=EventType.SWAP))
+        assert queue.pop() is first
+        first.cancel()  # popped event: must not decrement the queue's view
+        assert len(queue) == 1
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.push(SimEvent(time=1.0, event_type=EventType.SWAP))
+        queue.push(SimEvent(time=2.0, event_type=EventType.SWAP))
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
 
 class TestSimulationEngine:
     def test_handlers_run_in_time_order(self):
@@ -112,6 +152,47 @@ class TestSimulationEngine:
         engine.schedule(1.0, EventType.SWAP)
         engine.schedule(2.0, EventType.SWAP)
         engine.run()
+        assert engine.dispatched_events == 1
+
+    def test_stop_before_run_is_honoured(self):
+        """Regression: run() used to reset the flag, discarding a pre-run stop()."""
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        engine.schedule(1.0, EventType.SWAP)
+        engine.stop()
+        engine.run()
+        assert seen == []
+        assert engine.dispatched_events == 0
+
+    def test_run_after_consumed_stop_resumes(self):
+        """Each run consumes one stop request; the next run proceeds normally."""
+        engine = SimulationEngine()
+        seen = []
+        engine.register(EventType.SWAP, lambda event: seen.append(event.time))
+        engine.schedule(1.0, EventType.SWAP)
+        engine.stop()
+        engine.run()
+        assert seen == []
+        engine.run()
+        assert seen == [1.0]
+
+    def test_stop_simulation_runs_remaining_handlers_for_the_event(self):
+        """Regression: StopSimulation used to skip an event's later handlers."""
+        engine = SimulationEngine()
+        calls = []
+
+        def stopping_handler(event):
+            calls.append("stopper")
+            raise StopSimulation
+
+        engine.register(EventType.SWAP, stopping_handler)
+        engine.register(EventType.SWAP, lambda event: calls.append("observer"))
+        engine.schedule(1.0, EventType.SWAP)
+        engine.schedule(2.0, EventType.SWAP)
+        engine.run()
+        # Both handlers saw the first event; the second event never ran.
+        assert calls == ["stopper", "observer"]
         assert engine.dispatched_events == 1
 
     def test_end_of_simulation_event_stops_run(self):
