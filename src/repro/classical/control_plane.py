@@ -11,7 +11,7 @@ the underlying classical network.  The gossip alternative lives in
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from repro.classical.channel import ClassicalNetwork
 from repro.classical.messages import CountVectorMessage, MessageType, message_size_bits
@@ -34,6 +34,43 @@ class ControlPlane(abc.ABC):
     @abc.abstractmethod
     def run_round(self, round_index: int) -> None:
         """Disseminate state for one round, updating the cost counters."""
+
+    def _announcement_recipients(self, source: NodeId) -> Iterable[NodeId]:
+        """Who hears ``source``'s announcements (default: everyone, a flood)."""
+        return (node for node in self.topology.nodes if node != source)
+
+    def announce_failure(
+        self,
+        source: NodeId,
+        failed_node: NodeId = None,
+        failed_edge: Optional[Tuple[NodeId, NodeId]] = None,
+    ) -> int:
+        """Propagate a failure notice from ``source`` (scenario layer hook).
+
+        When a link is cut or a node leaves, the detecting neighbour floods
+        a small :data:`~repro.classical.messages.MessageType.FAILURE_NOTICE`
+        so the rest of the control plane can stop trusting stale state about
+        the failed element (:meth:`note_failure`).  The recipient set is the
+        control plane's dissemination fan-out -- everyone for flooding, the
+        unchoked peers for gossip -- and the usual message/bit counters are
+        charged.  Returns the number of notices sent.
+        """
+        size = message_size_bits(MessageType.FAILURE_NOTICE)
+        sent = 0
+        for destination in self._announcement_recipients(source):
+            self.total_messages += 1
+            self.total_bits += size
+            self.note_failure(destination, failed_node=failed_node, failed_edge=failed_edge)
+            sent += 1
+        return sent
+
+    def note_failure(
+        self,
+        recipient: NodeId,
+        failed_node: NodeId = None,
+        failed_edge: Optional[Tuple[NodeId, NodeId]] = None,
+    ) -> None:
+        """Hook: ``recipient`` learned about a failure (default: nothing cached)."""
 
     def bits_per_round(self) -> float:
         """Average classical bits per dissemination round so far."""

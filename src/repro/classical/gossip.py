@@ -13,7 +13,7 @@ two can be compared directly (experiment E6).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -111,6 +111,45 @@ class ChokeUnchokeGossip(ControlPlane):
                     ).to_message()
                     self.network.deliver(message)
         self.rounds_executed += 1
+
+    # ------------------------------------------------------------------ #
+    # Failure announcements (scenario layer)
+    # ------------------------------------------------------------------ #
+    def _announcement_recipients(self, source: NodeId) -> Iterable[NodeId]:
+        """Gossip announcements reach only the source's unchoked peers.
+
+        A node that has not taken its first dissemination turn yet has no
+        peers and its announcement reaches nobody -- the same partial-view
+        trade-off the count gossip makes.
+        """
+        return self.unchoked_peers(source)
+
+    def note_failure(
+        self,
+        recipient: NodeId,
+        failed_node: NodeId = None,
+        failed_edge: Optional[Tuple[NodeId, NodeId]] = None,
+    ) -> None:
+        """Drop the recipient's cached state about the failed element.
+
+        A node failure invalidates the whole cached view *of* that node and
+        every cached count *involving* it; a link failure invalidates only
+        the cached counts across that link.  The next count-vector exchange
+        rebuilds fresh views.
+        """
+        views = self.views.get(recipient)
+        if not views:
+            return
+        if failed_node is not None:
+            views.pop(failed_node, None)
+            for cached in views.values():
+                cached.pop(failed_node, None)
+        if failed_edge is not None:
+            node_a, node_b = failed_edge
+            if node_a in views:
+                views[node_a].pop(node_b, None)
+            if node_b in views:
+                views[node_b].pop(node_a, None)
 
     # ------------------------------------------------------------------ #
     # Knowledge quality

@@ -32,6 +32,7 @@ class MessageType(enum.Enum):
     PATH_RESERVATION = "path_reservation"
     PATH_RELEASE = "path_release"
     HERALD = "herald"
+    FAILURE_NOTICE = "failure_notice"
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,9 @@ def message_size_bits(message_type: MessageType, entries: int = 0, path_hops: in
         return 1
     if message_type is MessageType.COUNT_VECTOR:
         return max(entries, 1) * (NODE_ID_BITS + COUNT_BITS)
+    if message_type is MessageType.FAILURE_NOTICE:
+        # One bit for node-vs-link plus up to two node identifiers.
+        return 1 + 2 * NODE_ID_BITS
     if message_type in (MessageType.PATH_RESERVATION, MessageType.PATH_RELEASE):
         return max(path_hops, 1) * NODE_ID_BITS
     raise ValueError(f"unhandled message type {message_type}")  # pragma: no cover

@@ -23,9 +23,12 @@ from repro.experiments import (
     run_figure4,
     run_figure5,
     run_lp_validation,
+    run_resilience,
     run_scaling,
 )
+from repro.experiments.resilience import DEFAULT_RESILIENCE_SCENARIO
 from repro.runtime import ResultCache, seed_grid
+from repro.scenarios.registry import SCENARIO_NAMES, validate_scenario_spec
 
 
 def _positive_int(value: str) -> int:
@@ -119,6 +122,23 @@ def _run_scaling(args: argparse.Namespace) -> str:
     ).format_report()
 
 
+def _run_resilience(args: argparse.Namespace) -> str:
+    # Like scaling: no explicit --balancer runs both engines per cell,
+    # which doubles as the bit-identical-under-failures cross-check.
+    engines = (args.balancer,) if args.balancer else ("naive", "incremental")
+    return run_resilience(
+        sizes=args.sizes or None,
+        scenario=args.scenario or DEFAULT_RESILIENCE_SCENARIO,
+        seeds=_seeds_from(args),
+        n_requests=args.requests,
+        topology=args.topology,
+        balancers=engines,
+        smoke=args.smoke,
+        n_workers=args.workers,
+        cache=_cache_from(args),
+    ).format_report()
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "figure4": _run_figure4,
     "figure5": _run_figure5,
@@ -127,6 +147,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
     "ablations": _run_ablations,
     "classical": _run_classical,
     "scaling": _run_scaling,
+    "resilience": _run_resilience,
 }
 
 
@@ -175,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment runs both when the flag is omitted",
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="dynamic scenario for the resilience experiment, as "
+        "'name' or 'name:key=value,...' (names: "
+        + ", ".join(name for name in SCENARIO_NAMES if name != "none")
+        + "; default: link-churn)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the resilience sweep to one small fast cell (CI gate)",
+    )
+    parser.add_argument(
         "--workers",
         type=_positive_int,
         default=None,
@@ -207,6 +242,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is None:
         args.workers = 1
+    if args.scenario is not None:
+        try:
+            validate_scenario_spec(args.scenario)
+        except ValueError as error:
+            parser.error(f"--scenario: {error}")
     if args.cache_dir is not None:
         from pathlib import Path
 

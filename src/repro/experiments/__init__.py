@@ -12,7 +12,9 @@ One module per experiment of the per-experiment index in DESIGN.md:
 * :mod:`repro.experiments.ablations` -- design-choice ablations,
 * :mod:`repro.experiments.classical_overhead` -- control-plane cost,
 * :mod:`repro.experiments.scaling` -- max-min balancing on 200-1000-node
-  Waxman/grid/Erdős–Rényi topologies (naive vs incremental engine).
+  Waxman/grid/Erdős–Rényi topologies (naive vs incremental engine),
+* :mod:`repro.experiments.resilience` -- recovery time and fairness under
+  fault-and-churn scenarios (:mod:`repro.scenarios`) vs the static baseline.
 
 Every experiment exposes a ``run_*`` function returning a result object with
 ``series()`` / ``rows()`` accessors and a ``format_report()`` renderer; the
@@ -37,6 +39,7 @@ from repro.experiments.lp_validation import LPValidationResult, run_lp_validatio
 from repro.experiments.comparison import ComparisonResult, run_comparison
 from repro.experiments.ablations import AblationResult, run_ablations
 from repro.experiments.classical_overhead import ClassicalOverheadResult, run_classical_overhead
+from repro.experiments.resilience import ResilienceResult, run_resilience
 from repro.experiments.scaling import ScalingResult, run_scaling
 
 __all__ = [
@@ -47,6 +50,7 @@ __all__ = [
     "Figure4Result",
     "Figure5Result",
     "LPValidationResult",
+    "ResilienceResult",
     "ScalingResult",
     "TrialOutcome",
     "full_mode_enabled",
@@ -57,6 +61,7 @@ __all__ = [
     "run_figure5",
     "run_lp_validation",
     "run_many",
+    "run_resilience",
     "run_scaling",
     "run_trial",
 ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.network.topology import EdgeKey
+from repro.scenarios.registry import NO_SCENARIO, validate_scenario_spec
 
 
 def full_mode_enabled() -> bool:
@@ -48,6 +49,7 @@ class ExperimentConfig:
     gossip_fanout: int = 3
     policy: str = "min-recipient"
     balancer: str = "naive"
+    scenario: str = NO_SCENARIO
     policy_max_detour: Optional[int] = None
     qec_overhead: float = 1.0
     loss_factor: float = 1.0
@@ -74,6 +76,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"balancer must be 'naive' or 'incremental', got {self.balancer!r}"
             )
+        # Raises ValueError for unknown names/parameters; the spec enters
+        # the trial's cache key verbatim via asdict(), so two configs
+        # differing only in scenario never share a cache entry.
+        validate_scenario_spec(self.scenario)
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A copy with some fields replaced (convenience for sweeps)."""
@@ -81,9 +87,10 @@ class ExperimentConfig:
 
     def label(self) -> str:
         """Short human-readable label for reports."""
+        suffix = "" if self.scenario == NO_SCENARIO else f"/{self.scenario}"
         return (
             f"{self.protocol}/{self.topology}-{self.n_nodes}"
-            f"/D={self.distillation:g}/seed={self.seed}"
+            f"/D={self.distillation:g}/seed={self.seed}{suffix}"
         )
 
 

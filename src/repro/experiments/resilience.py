@@ -1,0 +1,235 @@
+"""Resilience experiment: balancing under fault-and-churn scenarios.
+
+The paper's evaluation is static; this experiment asks what happens to
+path-oblivious balancing when the network misbehaves.  Each cell runs the
+same seeded workload twice -- once undisturbed and once under a dynamic
+scenario (:mod:`repro.scenarios`) -- and with *both* balancing engines, so
+every row doubles as an end-to-end check that the incremental engine's
+dirty-set invalidation reaches the identical fixed points under failures.
+
+Reported per cell:
+
+* **recovery ratio** -- completion rounds under churn over completion
+  rounds of the static baseline (how much the disturbance cost),
+* **fairness under churn** -- Jain's index over per-consumer-pair service,
+  zero-filled for starved pairs,
+* satisfaction, swap and waiting-time counts from the underlying
+  :class:`~repro.experiments.config.TrialOutcome` rows.
+
+``smoke=True`` shrinks the sweep to one small cell; the CI workflow runs
+``repro resilience --smoke`` as an end-to-end churn gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.fairness import jains_index
+from repro.analysis.reporting import format_table
+from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
+from repro.experiments.runner import run_many
+from repro.scenarios.registry import NO_SCENARIO, validate_scenario_spec
+
+#: Default churn scenario when the caller does not pick one.
+DEFAULT_RESILIENCE_SCENARIO = "link-churn"
+
+#: Quick sweep (CI) and full sweep (REPRO_FULL=1) of |N|.
+QUICK_RESILIENCE_SIZES: Tuple[int, ...] = (25, 50)
+FULL_RESILIENCE_SIZES: Tuple[int, ...] = (25, 100, 250, 500)
+
+#: The single cell the --smoke gate runs.
+SMOKE_SIZES: Tuple[int, ...] = (25,)
+
+
+@dataclass
+class ResilienceRow:
+    """One (|N|, scenario, balancer, seed) cell."""
+
+    n_nodes: int
+    scenario: str
+    balancer: str
+    seed: int
+    rounds: int
+    requests_satisfied: int
+    requests_total: int
+    swaps: int
+    mean_waiting_rounds: float
+    fairness: float
+
+    @property
+    def satisfied_fraction(self) -> float:
+        if self.requests_total == 0:
+            return 1.0
+        return self.requests_satisfied / self.requests_total
+
+
+@dataclass
+class ResilienceResult:
+    """All resilience rows plus the churn-vs-static accessors."""
+
+    scenario: str
+    sizes: Tuple[int, ...]
+    balancers: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    rows: List[ResilienceRow] = field(default_factory=list)
+
+    def row_for(
+        self, n_nodes: int, scenario: str, balancer: str, seed: int
+    ) -> Optional[ResilienceRow]:
+        for row in self.rows:
+            if (row.n_nodes, row.scenario, row.balancer, row.seed) == (
+                n_nodes,
+                scenario,
+                balancer,
+                seed,
+            ):
+                return row
+        return None
+
+    def recovery_ratio(self, n_nodes: int, balancer: str, seed: int) -> Optional[float]:
+        """Completion rounds under churn / static baseline rounds for one cell."""
+        static = self.row_for(n_nodes, NO_SCENARIO, balancer, seed)
+        churned = self.row_for(n_nodes, self.scenario, balancer, seed)
+        if static is None or churned is None or static.rounds == 0:
+            return None
+        return churned.rounds / static.rounds
+
+    def format_report(self) -> str:
+        headers = (
+            "|N|",
+            "scenario",
+            "balancer",
+            "seed",
+            "rounds",
+            "satisfied",
+            "swaps",
+            "wait",
+            "fairness",
+        )
+        table_rows = [
+            (
+                row.n_nodes,
+                row.scenario,
+                row.balancer,
+                row.seed,
+                row.rounds,
+                f"{row.requests_satisfied}/{row.requests_total}",
+                row.swaps,
+                f"{row.mean_waiting_rounds:.1f}",
+                f"{row.fairness:.3f}",
+            )
+            for row in self.rows
+        ]
+        lines = [
+            format_table(
+                headers, table_rows, title=f"Resilience under scenario '{self.scenario}'"
+            )
+        ]
+        for size in self.sizes:
+            for seed in self.seeds:
+                ratio = self.recovery_ratio(size, self.balancers[0], seed)
+                if ratio is not None:
+                    lines.append(
+                        f"  |N|={size} seed={seed}: churn cost {ratio:.2f}x the "
+                        "static completion rounds"
+                    )
+        return "\n".join(lines)
+
+
+def _fairness(outcome: TrialOutcome) -> float:
+    """Jain's index over per-consumer-pair service, zero-filling starved pairs."""
+    served = list(outcome.consumption_by_pair.values())
+    starved = outcome.config.n_consumer_pairs - len(served)
+    values = served + [0] * max(starved, 0)
+    if not values:
+        return 1.0
+    return jains_index(values)
+
+
+def run_resilience(
+    sizes: Optional[Sequence[int]] = None,
+    scenario: str = DEFAULT_RESILIENCE_SCENARIO,
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 50,
+    topology: str = "cycle",
+    balancers: Sequence[str] = ("naive", "incremental"),
+    smoke: bool = False,
+    max_rounds: int = 20_000,
+    n_workers: Optional[int] = 1,
+    cache=None,
+) -> ResilienceResult:
+    """Run the fault-and-churn sweep (static baseline vs ``scenario``).
+
+    When several balancer engines are requested, each (size, scenario, seed)
+    cell is asserted to produce identical rounds, swap counts and
+    per-consumer service across engines -- the incremental engine's
+    bit-identical-under-failures contract, checked end to end.
+    """
+    scenario = validate_scenario_spec(scenario)
+    if scenario == NO_SCENARIO:
+        raise ValueError("run_resilience needs a real scenario, not 'none'")
+    if smoke:
+        sizes = SMOKE_SIZES
+        seeds = tuple(seeds)[:1] or (1,)
+        n_requests = min(n_requests, 20)
+        max_rounds = min(max_rounds, 3000)
+    elif sizes is None:
+        sizes = FULL_RESILIENCE_SIZES if full_mode_enabled() else QUICK_RESILIENCE_SIZES
+    result = ResilienceResult(
+        scenario=scenario,
+        sizes=tuple(int(size) for size in sizes),
+        balancers=tuple(balancers),
+        seeds=tuple(int(seed) for seed in seeds),
+    )
+
+    configs = [
+        ExperimentConfig(
+            topology=topology,
+            n_nodes=size,
+            n_requests=n_requests,
+            seed=seed,
+            balancer=balancer,
+            scenario=spec,
+            max_rounds=max_rounds,
+        )
+        for size in result.sizes
+        for spec in (NO_SCENARIO, scenario)
+        for balancer in result.balancers
+        for seed in result.seeds
+    ]
+    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
+
+    by_cell: Dict[Tuple[int, str, int], List[TrialOutcome]] = {}
+    for outcome in outcomes:
+        config = outcome.config
+        result.rows.append(
+            ResilienceRow(
+                n_nodes=config.n_nodes,
+                scenario=config.scenario,
+                balancer=config.balancer,
+                seed=config.seed,
+                rounds=outcome.rounds,
+                requests_satisfied=outcome.requests_satisfied,
+                requests_total=outcome.requests_total,
+                swaps=outcome.swaps_performed,
+                mean_waiting_rounds=outcome.mean_waiting_rounds,
+                fairness=_fairness(outcome),
+            )
+        )
+        by_cell.setdefault((config.n_nodes, config.scenario, config.seed), []).append(outcome)
+
+    for (size, spec, seed), cell in by_cell.items():
+        reference = cell[0]
+        for other in cell[1:]:
+            if (
+                other.rounds != reference.rounds
+                or other.swaps_performed != reference.swaps_performed
+                or other.consumption_by_pair != reference.consumption_by_pair
+            ):
+                raise RuntimeError(
+                    f"balancer engines disagree under scenario {spec!r} "
+                    f"(|N|={size}, seed={seed}): {reference.config.balancer} vs "
+                    f"{other.config.balancer}"
+                )
+    return result

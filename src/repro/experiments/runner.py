@@ -38,6 +38,7 @@ from repro.protocols.planned import (
     ConnectionlessProtocol,
     OnDemandProtocol,
 )
+from repro.scenarios.registry import build_scenario
 from repro.sim.rng import RandomStreams
 
 PROTOCOL_NAMES = (
@@ -87,6 +88,15 @@ def build_protocol(
     config: ExperimentConfig, topology: Topology, requests: RequestSequence, streams: RandomStreams
 ) -> SwappingProtocol:
     """Instantiate the protocol named by the config."""
+    scenario = build_scenario(
+        config.scenario, topology, streams=streams, horizon=config.max_rounds
+    )
+    if scenario is not None:
+        # The scenario mutates the topology as the run progresses; give the
+        # protocol its own copy so the caller's topology stays the static
+        # reference the post-run analyses (overhead, starvation) compare
+        # against.
+        topology = topology.copy()
     overheads = PairOverheads.uniform(
         distillation=config.distillation, loss=config.loss_factor
     )
@@ -99,6 +109,7 @@ def build_protocol(
         streams=streams,
         max_rounds=config.max_rounds,
         consumptions_per_round=config.consumptions_per_round,
+        scenario=scenario,
     )
     if config.protocol == "path-oblivious":
         protocol = PathObliviousProtocol(

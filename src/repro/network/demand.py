@@ -170,6 +170,26 @@ class RequestSequence:
             head.issued_round = round_index
 
     # ------------------------------------------------------------------ #
+    # Dynamic workloads (scenario layer)
+    # ------------------------------------------------------------------ #
+    def remap_pending(self, mapper) -> int:
+        """Rewrite the pairs of not-yet-served requests (demand drift).
+
+        ``mapper`` receives each pending request (the head included) and
+        returns a replacement pair, or ``None`` to leave the request alone.
+        Satisfied requests are immutable history and are never touched.
+        Returns how many requests were remapped.
+        """
+        remapped = 0
+        for request in self._requests[self._next_index:]:
+            replacement = mapper(request)
+            if replacement is None or replacement == request.pair:
+                continue
+            request.pair = edge_key(*replacement)
+            remapped += 1
+        return remapped
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property

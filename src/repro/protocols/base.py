@@ -25,9 +25,12 @@ from repro.core.maxmin.ledger import PairCountLedger
 from repro.network.demand import ConsumptionRequest, RequestSequence
 from repro.network.generation import DeterministicGeneration, GenerationProcess
 from repro.network.topology import EdgeKey, Topology
+from repro.scenarios.perturbations import ScenarioContext
+from repro.scenarios.scenario import Scenario, ScenarioDriver
 from repro.sim.metrics import MetricRegistry
 from repro.sim.rng import RandomStreams
 from repro.sim.rounds import RoundBasedSimulator, RoundPhase
+from repro.sim.tracing import TraceRecorder
 
 NodeId = Hashable
 
@@ -94,6 +97,20 @@ class SwappingProtocol(abc.ABC):
     consumptions_per_round:
         Cap on how many head-of-line requests may be served per round
         (``None`` = as many as resources allow).
+    scenario:
+        Optional dynamic scenario (:mod:`repro.scenarios`).  Its
+        perturbations are applied at the *start* of their trigger round,
+        before generation, so the same round's balancing and consumption
+        already see the changed conditions.
+    control_plane:
+        Optional :class:`~repro.classical.control_plane.ControlPlane`;
+        when both it and a scenario are present, failures flood
+        ``FAILURE_NOTICE`` announcements through it (gossip planes reach
+        only unchoked peers and drop stale cached views).
+    trace:
+        Optional trace recorder.  When provided, the run records phase
+        markers, scenario perturbations and a per-round state summary --
+        the raw material of the golden-trace regression suite.
     """
 
     #: Human-readable protocol name, overridden by subclasses.
@@ -108,6 +125,9 @@ class SwappingProtocol(abc.ABC):
         streams: Optional[RandomStreams] = None,
         max_rounds: int = 50_000,
         consumptions_per_round: Optional[int] = None,
+        scenario: Optional[Scenario] = None,
+        trace: Optional[TraceRecorder] = None,
+        control_plane=None,
     ):
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
@@ -124,6 +144,10 @@ class SwappingProtocol(abc.ABC):
         self.streams = streams if streams is not None else RandomStreams(0)
         self.max_rounds = int(max_rounds)
         self.consumptions_per_round = consumptions_per_round
+        self.scenario = scenario
+        self.trace = trace
+        self.control_plane = control_plane
+        self.scenario_driver: Optional[ScenarioDriver] = None
 
         self.ledger = PairCountLedger(topology.nodes)
         self.metrics = MetricRegistry()
@@ -180,13 +204,47 @@ class SwappingProtocol(abc.ABC):
     # ------------------------------------------------------------------ #
     def run(self) -> ProtocolResult:
         """Run until every request is satisfied or ``max_rounds`` is reached."""
-        simulator = RoundBasedSimulator(max_rounds=self.max_rounds, metrics=self.metrics)
+        simulator = RoundBasedSimulator(
+            max_rounds=self.max_rounds, metrics=self.metrics, trace=self.trace
+        )
+        if self.scenario is not None:
+            context = ScenarioContext(
+                topology=self.topology,
+                ledger=self.ledger,
+                requests=self.requests,
+                streams=self.streams,
+                generation=self.generation,
+                control_plane=self.control_plane,
+                trace=self.trace,
+            )
+            self.scenario_driver = ScenarioDriver(self.scenario, context)
+            # Registered before the generation hook: a round's perturbations
+            # land before that round's new pairs are generated.
+            simulator.add_hook(RoundPhase.GENERATION, self.scenario_driver.on_round)
         simulator.add_hook(RoundPhase.GENERATION, self._generation_phase)
         simulator.add_hook(RoundPhase.BALANCING, self._action_phase)
         simulator.add_hook(RoundPhase.CONSUMPTION, self._consumption_phase)
+        if self.trace is not None:
+            simulator.add_hook(RoundPhase.BOOKKEEPING, self._trace_round_summary)
         simulator.add_stop_condition(lambda _: self.requests.all_satisfied)
         self.rounds_executed = simulator.run()
         return self._build_result()
+
+    def _trace_round_summary(self, round_index: int) -> None:
+        """Record the round's end-state so traces are behaviour-sensitive."""
+        self.trace.record(
+            float(round_index),
+            "round.summary",
+            {
+                "round": round_index,
+                "pairs": self.ledger.total_pairs(),
+                "generated": self.pairs_generated,
+                "consumed": self.pairs_consumed,
+                "satisfied": self.requests.satisfied_count,
+                "swaps": self.swaps_performed(),
+            },
+        )
+        return None
 
     # ------------------------------------------------------------------ #
     # Result assembly

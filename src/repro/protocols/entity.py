@@ -29,9 +29,16 @@ from repro.core.maxmin.ledger import PairCountLedger
 from repro.network.demand import RequestSequence
 from repro.network.link import GenerationLink
 from repro.network.node import QuantumNode
-from repro.network.topology import Topology
+from repro.network.topology import Topology, edge_key
 from repro.quantum.bell_pair import BellPair
-from repro.quantum.decoherence import CutoffPolicy, DecoherenceModel, NoDecoherence
+from repro.quantum.decoherence import (
+    CutoffPolicy,
+    DecoherenceModel,
+    NoDecoherence,
+    RateScaledDecoherence,
+)
+from repro.scenarios.perturbations import ScenarioContext
+from repro.scenarios.scenario import Scenario
 from repro.quantum.fidelity import teleportation_fidelity
 from repro.quantum.swap import SwapPhysics
 from repro.sim.engine import SimulationEngine
@@ -98,6 +105,11 @@ class EntityLevelSimulation:
         Simulated time between generation attempts on every link.
     max_time:
         Hard stop for the simulation clock.
+    scenario:
+        Optional dynamic scenario (:mod:`repro.scenarios`).  Perturbation
+        triggers are interpreted as simulated times and compiled into
+        :data:`~repro.sim.events.EventType.SCENARIO` events on the engine
+        queue.
     """
 
     def __init__(
@@ -113,6 +125,8 @@ class EntityLevelSimulation:
         generation_interval: float = 1.0,
         max_time: float = 2000.0,
         streams: Optional[RandomStreams] = None,
+        scenario: Optional[Scenario] = None,
+        control_plane=None,
     ) -> None:
         if not 0.25 <= fidelity_threshold <= 1.0:
             raise ValueError(f"fidelity_threshold must be within [0.25, 1], got {fidelity_threshold}")
@@ -158,6 +172,114 @@ class EntityLevelSimulation:
 
         self.engine.register(EventType.GENERATION, self._on_generation)
         self.engine.register(EventType.TIMER, self._on_timer)
+
+        self.scenario = scenario
+        self._scenario_context: Optional[ScenarioContext] = None
+        # edge -> GenerationLink taken down by the scenario layer.
+        self._failed_links: Dict[Tuple[NodeId, NodeId], GenerationLink] = {}
+        if scenario is not None:
+            self._scenario_context = ScenarioContext(
+                topology=topology,
+                ledger=self.ledger,
+                requests=requests,
+                streams=self.streams,
+                control_plane=control_plane,
+                entity=self,
+            )
+            self.engine.register(EventType.SCENARIO, self._on_scenario)
+
+    # ------------------------------------------------------------------ #
+    # Scenario hooks (called via ScenarioContext)
+    # ------------------------------------------------------------------ #
+    def _on_scenario(self, event: SimEvent) -> None:
+        perturbation = self.scenario.perturbations[event.payload["index"]]
+        self._scenario_context.now = event.time
+        if not perturbation.ready(self._scenario_context):
+            # Predicate-gated (Conditional) perturbation: re-evaluate one
+            # balancing interval later, mirroring the round driver's
+            # per-round re-check.
+            retry = event.time + self.balancing_interval
+            if retry <= self.max_time:
+                self.engine.schedule_at(
+                    retry, EventType.SCENARIO, payload=dict(event.payload), priority=-1
+                )
+            return
+        perturbation.apply(self._scenario_context)
+
+    def _link_key(self, node_a: NodeId, node_b: NodeId) -> Tuple[NodeId, NodeId]:
+        return edge_key(node_a, node_b)
+
+    def _drop_pairs_between(self, node_a: NodeId, node_b: NodeId) -> int:
+        dropped = 0
+        for pair in list(self.nodes[node_a].memory.pairs_with(node_b)):
+            self._remove_pair(pair)
+            self.pairs_expired += 1
+            dropped += 1
+        return dropped
+
+    def scenario_fail_link(self, node_a: NodeId, node_b: NodeId, drop_pairs: bool = False) -> bool:
+        """Take the generation link ``(node_a, node_b)`` down (scenario layer)."""
+        key = self._link_key(node_a, node_b)
+        for index, link in enumerate(self.links):
+            if self._link_key(link.node_a, link.node_b) == key:
+                self._failed_links[key] = link
+                del self.links[index]
+                if drop_pairs:
+                    self._drop_pairs_between(node_a, node_b)
+                return True
+        return False
+
+    def scenario_repair_link(self, node_a: NodeId, node_b: NodeId) -> bool:
+        """Bring a scenario-failed generation link back up."""
+        link = self._failed_links.pop(self._link_key(node_a, node_b), None)
+        if link is None:
+            return False
+        self.links.append(link)
+        return True
+
+    def scenario_fail_node(self, node: NodeId) -> bool:
+        """Node leave: drop every stored pair at ``node`` and its links."""
+        if node not in self.nodes:
+            return False
+        for pair in list(self.nodes[node].memory.pairs()):
+            self._remove_pair(pair)
+            self.pairs_expired += 1
+        for link in [
+            link for link in self.links if node in (link.node_a, link.node_b)
+        ]:
+            self.scenario_fail_link(link.node_a, link.node_b)
+        return True
+
+    def scenario_rejoin_node(self, node: NodeId) -> bool:
+        """Node rejoin: restore every scenario-failed link incident to ``node``."""
+        restored = False
+        for key in [key for key in self._failed_links if node in key]:
+            restored = self.scenario_repair_link(*key) or restored
+        return restored
+
+    def scenario_scale_decoherence(self, factor: float) -> None:
+        """Ramp the decoherence rate: stored pairs age ``factor`` times faster
+        *from now on*.
+
+        Every stored pair is first re-baselined -- its decay under the old
+        model up to now is folded into ``fidelity`` and ``created_at`` is
+        advanced -- so the scaled model applies only to future storage time,
+        never retroactively.  (Re-baselining also restarts the cutoff
+        policy's age clock for those pairs, the same way a swap-produced
+        pair starts a fresh clock.)
+        """
+        now = self.engine.clock.now
+        rebaselined = set()
+        for node in self.nodes.values():
+            for pair in node.memory.pairs():
+                if pair.pair_id in rebaselined:
+                    continue
+                rebaselined.add(pair.pair_id)
+                pair.fidelity = self._current_fidelity(pair, now)
+                pair.created_at = now
+        self.decoherence = RateScaledDecoherence(self.decoherence, factor)
+        for node in self.nodes.values():
+            node.memory.decoherence = self.decoherence
 
     # ------------------------------------------------------------------ #
     # Entity bookkeeping
@@ -276,6 +398,17 @@ class EntityLevelSimulation:
         """Run until the request sequence completes or ``max_time`` is reached."""
         self.engine.schedule(0.0, EventType.GENERATION)
         self.engine.schedule(self.balancing_interval, EventType.TIMER, payload={"name": "round"})
+        if self.scenario is not None:
+            # Negative priority: a perturbation due at time t lands before
+            # the generation/balancing events of the same instant.
+            for index, perturbation in enumerate(self.scenario.perturbations):
+                if perturbation.trigger <= self.max_time:
+                    self.engine.schedule_at(
+                        float(perturbation.trigger),
+                        EventType.SCENARIO,
+                        payload={"index": index},
+                        priority=-1,
+                    )
         end_time = self.engine.run(until=self.max_time)
         return EntitySimulationResult(
             rounds=self.rounds,

@@ -71,6 +71,9 @@ class PathObliviousProtocol(SwappingProtocol):
         use_hybrid_fallback: bool = False,
         hybrid_max_hops: Optional[int] = 6,
         balancer_engine: str = "naive",
+        scenario=None,
+        trace=None,
+        control_plane=None,
     ):
         super().__init__(
             topology=topology,
@@ -80,6 +83,9 @@ class PathObliviousProtocol(SwappingProtocol):
             streams=streams,
             max_rounds=max_rounds,
             consumptions_per_round=consumptions_per_round,
+            scenario=scenario,
+            trace=trace,
+            control_plane=control_plane,
         )
         knowledge = (
             knowledge

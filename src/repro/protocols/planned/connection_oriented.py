@@ -42,6 +42,8 @@ class ConnectionOrientedProtocol(SwappingProtocol):
         streams: Optional[RandomStreams] = None,
         max_rounds: int = 50_000,
         consumptions_per_round: Optional[int] = None,
+        scenario=None,
+        trace=None,
     ):
         super().__init__(
             topology=topology,
@@ -51,6 +53,8 @@ class ConnectionOrientedProtocol(SwappingProtocol):
             streams=streams,
             max_rounds=max_rounds,
             consumptions_per_round=consumptions_per_round,
+            scenario=scenario,
+            trace=trace,
         )
         self._swaps = 0
         self._swaps_by_node: Dict[NodeId, int] = {}

@@ -45,6 +45,8 @@ class ConnectionlessProtocol(SwappingProtocol):
         max_rounds: int = 50_000,
         consumptions_per_round: Optional[int] = None,
         window: int = 4,
+        scenario=None,
+        trace=None,
     ):
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
@@ -56,6 +58,8 @@ class ConnectionlessProtocol(SwappingProtocol):
             streams=streams,
             max_rounds=max_rounds,
             consumptions_per_round=consumptions_per_round,
+            scenario=scenario,
+            trace=trace,
         )
         self.window = int(window)
         self._swaps = 0

@@ -37,6 +37,8 @@ class OnDemandProtocol(SwappingProtocol):
         streams: Optional[RandomStreams] = None,
         max_rounds: int = 50_000,
         consumptions_per_round: Optional[int] = None,
+        scenario=None,
+        trace=None,
     ):
         super().__init__(
             topology=topology,
@@ -46,6 +48,8 @@ class OnDemandProtocol(SwappingProtocol):
             streams=streams,
             max_rounds=max_rounds,
             consumptions_per_round=consumptions_per_round,
+            scenario=scenario,
+            trace=trace,
         )
         self._swaps = 0
         self._swaps_by_node: Dict[NodeId, int] = {}

@@ -116,6 +116,33 @@ class ExponentialDecoherence(DecoherenceModel):
 
 
 @dataclass
+class RateScaledDecoherence(DecoherenceModel):
+    """Wrap a model so stored pairs age ``factor`` times faster.
+
+    The scenario layer's decoherence-rate ramps stack these wrappers on the
+    running simulation's model: scaling elapsed time by ``factor`` is
+    exactly a rate scale for exponential decay and a sensible definition
+    for any other model.
+    """
+
+    inner: DecoherenceModel
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+
+    def fidelity_after(self, initial_fidelity: float, elapsed: float) -> float:
+        return self.inner.fidelity_after(initial_fidelity, elapsed * self.factor)
+
+    def sample_lifetime(self, rng: np.random.Generator) -> float:
+        return self.inner.sample_lifetime(rng) / self.factor
+
+    def loss_factor(self, mean_storage_time: float) -> float:
+        return self.inner.loss_factor(mean_storage_time * self.factor)
+
+
+@dataclass
 class CutoffPolicy:
     """A transport-layer "cleansing" policy (paper, §6): drop pairs older than a cutoff.
 

@@ -35,6 +35,8 @@ class EventType(enum.Enum):
     REQUEST_TIMEOUT = "request_timeout"
     #: Periodic protocol timer (e.g. a balancing round trigger).
     TIMER = "timer"
+    #: A scenario perturbation fires (link failure, node churn, demand drift, ...).
+    SCENARIO = "scenario"
     #: End of simulation marker.
     END_OF_SIMULATION = "end_of_simulation"
 

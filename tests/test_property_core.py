@@ -11,6 +11,8 @@ from repro.analysis.fairness import is_max_min_fair
 from repro.core.maxmin.balancer import MaxMinBalancer
 from repro.core.maxmin.incremental import IncrementalMaxMinBalancer
 from repro.core.maxmin.ledger import PairCountLedger
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_many, run_trial
 from repro.protocols.nested import nested_swap_count, sequential_swap_count
 from repro.sim.metrics import Histogram
 
@@ -138,6 +140,120 @@ class TestBalancerProperties:
         for round_index in range(20):
             balancer.run_round(round_index)
         assert all(count >= 0 for count in ledger.nonzero_pairs().values())
+
+
+# ---------------------------------------------------------------------- #
+# Scenario determinism and balancer equivalence under failures
+# ---------------------------------------------------------------------- #
+failure_schedule = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10),  # round the failure lands in
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    ).filter(lambda item: item[1] != item[2]),
+    max_size=8,
+)
+
+
+def _outcome_key(outcome):
+    """The behavioural fingerprint of a trial (nan-safe)."""
+    wait = outcome.mean_waiting_rounds
+    return (
+        outcome.rounds,
+        outcome.swaps_performed,
+        outcome.requests_satisfied,
+        outcome.pairs_generated,
+        outcome.pairs_consumed,
+        outcome.pairs_remaining,
+        sorted(outcome.consumption_by_pair.items()),
+        sorted(outcome.swaps_by_node.items()),
+        None if wait != wait else wait,
+    )
+
+
+class TestScenarioProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(initial_counts, failure_schedule, st.integers(min_value=1, max_value=2))
+    def test_incremental_fixed_point_identical_under_link_failures(
+        self, counts, failures, distillation
+    ):
+        """Mid-run link failures (ledger invalidations) never make the
+        incremental engine's swaps diverge from the naive engine's."""
+        naive_ledger = PairCountLedger(range(6))
+        incremental_ledger = PairCountLedger(range(6))
+        for (a, b), value in counts.items():
+            naive_ledger.add(a, b, value)
+            incremental_ledger.add(a, b, value)
+        naive = MaxMinBalancer(
+            naive_ledger, overheads=float(distillation), rng=np.random.default_rng(0)
+        )
+        incremental = IncrementalMaxMinBalancer(
+            incremental_ledger,
+            overheads=float(distillation),
+            rng=np.random.default_rng(0),
+            self_check=True,
+        )
+        by_round = {}
+        for round_index, a, b in failures:
+            by_round.setdefault(round_index, []).append((a, b))
+        for round_index in range(12):
+            for a, b in by_round.get(round_index, []):
+                held = naive_ledger.count(a, b)
+                if held and held == incremental_ledger.count(a, b):
+                    naive_ledger.remove(a, b, held)
+                    incremental_ledger.remove(a, b, held)
+            naive.run_round(round_index)
+            incremental.run_round(round_index)
+        assert naive_ledger.nonzero_pairs() == incremental_ledger.nonzero_pairs()
+        assert naive.records == incremental.records
+
+    @settings(deadline=None, max_examples=8)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.sampled_from(
+            [
+                "link-churn:start=1,period=4,downtime=3,count=4,drop_pairs=true",
+                "node-churn:start=2,period=5,downtime=3,count=2",
+                "flaky-links:rate=0.05,span=60",
+                "demand-drift:start=1,period=4,count=2",
+            ]
+        ),
+    )
+    def test_same_seed_same_scenario_means_identical_trials(self, seed, spec):
+        """run_trial is a pure function of its config under any scenario."""
+        config = ExperimentConfig(
+            n_nodes=10,
+            n_consumer_pairs=6,
+            n_requests=10,
+            seed=seed,
+            scenario=spec,
+            max_rounds=2000,
+        )
+        assert _outcome_key(run_trial(config)) == _outcome_key(run_trial(config))
+
+    def test_scenario_metrics_identical_across_worker_counts(self):
+        """workers=1 and workers=N produce bit-identical scenario sweeps."""
+        configs = [
+            ExperimentConfig(
+                n_nodes=10,
+                n_consumer_pairs=6,
+                n_requests=10,
+                seed=seed,
+                balancer=balancer,
+                scenario="link-churn:start=1,period=4,downtime=3,count=4,drop_pairs=true",
+                max_rounds=2000,
+            )
+            for seed in (1, 2)
+            for balancer in ("naive", "incremental")
+        ]
+        serial = run_many(configs, n_workers=1)
+        parallel = run_many(configs, n_workers=2)
+        assert [_outcome_key(outcome) for outcome in serial] == [
+            _outcome_key(outcome) for outcome in parallel
+        ]
+        # The two engines also agree with each other, failure rounds included.
+        assert _outcome_key(serial[0]) == _outcome_key(serial[1])
+        assert _outcome_key(serial[2]) == _outcome_key(serial[3])
 
 
 # ---------------------------------------------------------------------- #

@@ -116,6 +116,27 @@ class TestResultCache:
         assert config_digest(config) != config_digest(config.with_(seed=999))
         assert config_digest(config) != config_digest(config.with_(distillation=3.0))
 
+    def test_key_depends_on_scenario(self, tmp_path):
+        """Regression: two configs differing only in scenario must never
+        share a cache entry -- a churn trial's outcome is not a static
+        trial's outcome."""
+        config = _tiny_configs()[0]
+        churned = config.with_(scenario="link-churn")
+        tuned = config.with_(scenario="link-churn:period=7")
+        assert config_digest(config) != config_digest(churned)
+        assert config_digest(churned) != config_digest(tuned)
+        cache = ResultCache(tmp_path)
+        outcome = SweepRunner(n_workers=1).run([config])[0]
+        cache.put(config, outcome)
+        assert config in cache
+        assert churned not in cache
+        assert cache.get(churned) is None, "scenario trials must not hit static entries"
+        churned_outcome = SweepRunner(n_workers=1).run([churned])[0]
+        cache.put(churned, churned_outcome)
+        assert _fingerprint(cache.get(config)) == _fingerprint(outcome)
+        assert _fingerprint(cache.get(churned)) == _fingerprint(churned_outcome)
+        assert len(cache) == 2
+
     def test_key_depends_on_code_version(self, tmp_path):
         config = _tiny_configs()[0]
         assert config_digest(config, version="aaaa") != config_digest(config, version="bbbb")
