@@ -1,0 +1,62 @@
+"""Benchmark: the experiment-API dispatch layer must be essentially free.
+
+The registry lookup plus the auto-generated subparser construction is the
+machinery every ``repro <experiment>`` invocation pays compared to calling
+a legacy ``run_*`` wrapper directly; this suite holds that overhead under
+5 ms so the API redesign never shows up in experiment wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cli import build_parser
+from repro.experiments.registry import experiment_names, get_experiment
+
+#: The per-dispatch budget the ISSUE sets (seconds).
+DISPATCH_BUDGET = 0.005
+
+
+def _best_of(repeats: int, func) -> float:
+    """Best-of-N wall-clock of ``func`` (best-of filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_registry_dispatch_plus_subparser_construction_under_budget():
+    """Looking an experiment up and building the full subcommand parser --
+    the work `repro figure4 ...` adds over calling run_figure4 directly --
+    stays under 5 ms."""
+    build_parser()  # warm import/bytecode paths once
+
+    def dispatch():
+        parser = build_parser()
+        parser.parse_args(["figure4", "--nodes", "9"])
+        get_experiment("figure4")
+
+    assert _best_of(20, dispatch) < DISPATCH_BUDGET
+
+
+def test_param_resolution_overhead_under_budget():
+    """Resolving and normalising a full ParamSpec table for every
+    registered experiment (the Experiment.run preamble the legacy wrappers
+    skip straight past) is well under the 5 ms budget."""
+
+    def resolve_all():
+        for name in experiment_names():
+            experiment = get_experiment(name)
+            experiment.normalize(experiment.resolve_params({}))
+
+    assert _best_of(20, resolve_all) < DISPATCH_BUDGET
+
+
+def test_registry_lookup_is_constant_time_cheap():
+    def lookup_all():
+        for name in experiment_names():
+            get_experiment(name)
+
+    assert _best_of(20, lookup_all) < DISPATCH_BUDGET

@@ -47,21 +47,20 @@ def main(argv=None) -> int:
         os.environ["REPRO_FULL"] = "1"
 
     # Import after REPRO_FULL is set so the sweep presets pick it up.
-    from repro.experiments import run_figure4, run_figure5
+    from repro.experiments import RuntimeOptions, get_experiment
     from repro.runtime import ResultCache
 
-    seeds = tuple(range(1, args.seeds + 1))
-    cache = ResultCache() if args.cache else None
-
-    start = time.time()
-    figure4 = run_figure4(seeds=seeds, n_workers=args.workers, cache=cache)
-    print(figure4.format_report())
-    print(f"\n(figure 4 sweep took {time.time() - start:.1f}s)\n")
-
-    start = time.time()
-    figure5 = run_figure5(seeds=seeds, n_workers=args.workers, cache=cache)
-    print(figure5.format_report())
-    print(f"\n(figure 5 sweep took {time.time() - start:.1f}s)")
+    # The programmatic experiment API: look the experiment up in the
+    # registry and run it with keyword parameters from its ParamSpec table
+    # (an int `seeds` means "that many trials", exactly like --seeds).
+    runtime = RuntimeOptions(
+        workers=args.workers, cache=ResultCache() if args.cache else None
+    )
+    for name in ("figure4", "figure5"):
+        start = time.time()
+        result = get_experiment(name).run(runtime=runtime, seeds=args.seeds)
+        print(result.format_report())
+        print(f"\n({name} sweep took {time.time() - start:.1f}s)\n")
     return 0
 
 

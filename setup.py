@@ -8,7 +8,7 @@ README = Path(__file__).parent / "README.md"
 
 setup(
     name="repro-quantum",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Path-Oblivious Entanglement Swapping for the "
         "Quantum Internet' (HotNets 2025): max-min balancing protocol, LP "

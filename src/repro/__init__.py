@@ -9,14 +9,16 @@ the paper's evaluation figures.
 
 Quick start::
 
-    from repro.experiments import run_figure4
+    from repro.experiments import get_experiment, run_figure4
     print(run_figure4(n_nodes=25, distillation_values=[1, 2]).format_report())
+    # or, through the experiment registry, as machine-readable JSON:
+    print(get_experiment("figure4").run(n_nodes=25, distillation_values=[1, 2]).to_json())
 
 See README.md for the package layout, docs/architecture.md for the
-simulation pipeline and runtime layer, and docs/reproducing.md for the
-per-experiment index.
+simulation pipeline, runtime layer and experiment API, and
+docs/reproducing.md for the per-experiment index.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -1,34 +1,41 @@
 """Command-line interface.
 
 ``python -m repro <experiment>`` (or the installed ``repro`` script) runs
-one of the experiments from :mod:`repro.experiments` and prints its
-plain-text report.  Run ``python -m repro --list`` to see what is available.
+one of the registered experiments from :mod:`repro.experiments`.  One
+subparser per experiment is generated straight from its
+:class:`~repro.experiments.api.ParamSpec` table, so every experiment
+accepts exactly its own flags -- a flag that belongs to a different
+experiment is a hard parse error, not a silently ignored namespace entry.
+``python -m repro --list`` prints each experiment's name and one-line
+summary from the registry.
 
-Sweep-style experiments accept ``--workers N`` to fan trials out across a
-process pool and ``--cache`` to reuse previously computed trials from the
-content-addressed result cache (see :mod:`repro.runtime`); both leave the
-reported numbers bit-identical.
+Every subcommand also gains the uniform output surface for free:
+``--format text|json|csv`` selects the rendering (JSON payloads follow
+``docs/schemas/experiment-result.schema.json``), ``--output FILE`` writes
+it to a file (``-`` keeps stdout), and ``--force`` allows overwriting.
+
+Sweep-style experiments additionally accept ``--workers N`` to fan trials
+out across a process pool and ``--cache`` to reuse previously computed
+trials from the content-addressed result cache (see :mod:`repro.runtime`);
+both leave the reported numbers bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
-from repro.experiments import (
-    run_ablations,
-    run_classical_overhead,
-    run_comparison,
-    run_figure4,
-    run_figure5,
-    run_lp_validation,
-    run_resilience,
-    run_scaling,
-)
-from repro.experiments.resilience import DEFAULT_RESILIENCE_SCENARIO
-from repro.runtime import ResultCache, seed_grid
-from repro.scenarios.registry import SCENARIO_NAMES, validate_scenario_spec
+from repro.experiments.api import RESULT_FORMATS, Experiment, RuntimeOptions
+from repro.experiments.registry import get_experiment, iter_experiments
+from repro.runtime import ResultCache
+
+#: Registered experiments by name (kept for backward compatibility; the
+#: registry is the source of truth).
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.name: experiment for experiment in iter_experiments()
+}
 
 
 def _positive_int(value: str) -> int:
@@ -36,6 +43,109 @@ def _positive_int(value: str) -> int:
     if workers < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
     return workers
+
+
+def _add_runtime_flags(parser: argparse.ArgumentParser) -> None:
+    """The parallel-runtime knobs sweep experiments share."""
+    group = parser.add_argument_group("runtime options")
+    group.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweep (default: 1, i.e. in-process; "
+        "results are identical for any value)",
+    )
+    group.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse previously computed trials from the on-disk result cache",
+    )
+    group.add_argument(
+        "--cache-dir",
+        # SUPPRESS: when the flag is absent the subparser leaves the parent
+        # namespace alone, so a pre-subcommand `repro --cache-dir X figure4`
+        # is not clobbered back to None by the subparser's default.
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="result-cache directory (implies --cache; default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-quantum)",
+    )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    """The uniform result-output surface every experiment gains for free."""
+    group = parser.add_argument_group("output options")
+    group.add_argument(
+        "--format",
+        choices=RESULT_FORMATS,
+        default="text",
+        help="result rendering: human-readable text report, machine-readable "
+        "JSON (docs/schemas/experiment-result.schema.json), or CSV rows",
+    )
+    group.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the rendered result to FILE instead of stdout ('-' keeps stdout)",
+    )
+    group.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the --output file if it already exists",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    # allow_abbrev=False everywhere: prefix matching would let a misplaced
+    # flag (e.g. `repro --cache figure4`) silently rewrite itself into a
+    # different option instead of being the hard error the subcommand
+    # redesign promises.
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Path-oblivious entanglement swapping (HotNets 2025) reproduction",
+        allow_abbrev=False,
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete every cached trial result and exit",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory for --clear-cache (default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-quantum)",
+    )
+    subparsers = parser.add_subparsers(dest="experiment", metavar="experiment")
+    for experiment in iter_experiments():
+        subparser = subparsers.add_parser(
+            experiment.name,
+            help=experiment.summary,
+            description=experiment.summary,
+            allow_abbrev=False,
+        )
+        for spec in experiment.cli_specs():
+            spec.add_to_parser(subparser)
+        if experiment.supports_runtime:
+            _add_runtime_flags(subparser)
+        _add_output_flags(subparser)
+        # `repro <name> --list` keeps the listing behaviour (distinct dest:
+        # argparse copies the subparser namespace over the parent's, which
+        # would otherwise clobber a pre-subcommand --list with the default).
+        subparser.add_argument(
+            "--list", dest="sub_list", action="store_true", help=argparse.SUPPRESS
+        )
+    return parser
+
+
+def _print_listing() -> None:
+    print("available experiments:")
+    width = max(len(experiment.name) for experiment in iter_experiments())
+    for experiment in iter_experiments():
+        print(f"  {experiment.name.ljust(width)}  {experiment.summary}")
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -46,223 +156,57 @@ def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(args.cache_dir)
 
 
-def _seeds_from(args: argparse.Namespace) -> tuple:
-    """The per-point trial seeds: 1..N, or derived from ``--master-seed``."""
-    if args.master_seed is not None:
-        return tuple(seed_grid(args.master_seed, args.seeds))
-    return tuple(range(1, args.seeds + 1))
-
-
-def _run_figure4(args: argparse.Namespace) -> str:
-    distillations = args.distillation or None
-    return run_figure4(
-        n_nodes=args.nodes,
-        distillation_values=distillations,
-        seeds=_seeds_from(args),
-        n_requests=args.requests,
-        n_workers=args.workers,
-        cache=_cache_from(args),
-        balancer=args.balancer or "naive",
-    ).format_report()
-
-
-def _run_figure5(args: argparse.Namespace) -> str:
-    sizes = args.sizes or None
-    return run_figure5(
-        network_sizes=sizes,
-        seeds=_seeds_from(args),
-        n_requests=args.requests,
-        n_workers=args.workers,
-        cache=_cache_from(args),
-        balancer=args.balancer or "naive",
-    ).format_report()
-
-
-def _run_lp(args: argparse.Namespace) -> str:
-    return run_lp_validation(n_nodes=args.nodes).format_report()
-
-
-def _run_comparison(args: argparse.Namespace) -> str:
-    return run_comparison(
-        topology=args.topology,
-        n_nodes=args.nodes,
-        distillation=args.distillation_single,
-        n_requests=args.requests,
-        n_workers=args.workers,
-        cache=_cache_from(args),
-        balancer=args.balancer or "naive",
-    ).format_report()
-
-
-def _run_ablations(args: argparse.Namespace) -> str:
-    return run_ablations(
-        n_nodes=args.nodes,
-        n_requests=args.requests,
-        n_workers=args.workers,
-        cache=_cache_from(args),
-        balancer=args.balancer or "naive",
-    ).format_report()
-
-
-def _run_classical(args: argparse.Namespace) -> str:
-    return run_classical_overhead(n_nodes=args.nodes).format_report()
-
-
-def _run_scaling(args: argparse.Namespace) -> str:
-    # Without an explicit --balancer the sweep runs both engines on each
-    # cell, which also cross-checks that their fixed points agree.
-    engines = (args.balancer,) if args.balancer else ("naive", "incremental")
-    # Same --master-seed semantics as the other sweeps: the workload seed
-    # is SHA-256-derived, never used verbatim.
-    seed = seed_grid(args.master_seed, 1)[0] if args.master_seed is not None else 1
-    return run_scaling(
-        sizes=args.sizes or None,
-        engines=engines,
-        seed=seed,
-    ).format_report()
-
-
-def _run_resilience(args: argparse.Namespace) -> str:
-    # Like scaling: no explicit --balancer runs both engines per cell,
-    # which doubles as the bit-identical-under-failures cross-check.
-    engines = (args.balancer,) if args.balancer else ("naive", "incremental")
-    return run_resilience(
-        sizes=args.sizes or None,
-        scenario=args.scenario or DEFAULT_RESILIENCE_SCENARIO,
-        seeds=_seeds_from(args),
-        n_requests=args.requests,
-        topology=args.topology,
-        balancers=engines,
-        smoke=args.smoke,
-        n_workers=args.workers,
-        cache=_cache_from(args),
-    ).format_report()
-
-
-EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
-    "figure4": _run_figure4,
-    "figure5": _run_figure5,
-    "lp": _run_lp,
-    "comparison": _run_comparison,
-    "ablations": _run_ablations,
-    "classical": _run_classical,
-    "scaling": _run_scaling,
-    "resilience": _run_resilience,
-}
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Path-oblivious entanglement swapping (HotNets 2025) reproduction",
-    )
-    parser.add_argument("experiment", nargs="?", choices=sorted(EXPERIMENTS), help="experiment to run")
-    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
-    parser.add_argument("--nodes", type=int, default=25, help="number of nodes |N| (default 25)")
-    parser.add_argument(
-        "--requests", type=int, default=50, help="length of the consumption request sequence"
-    )
-    parser.add_argument("--seeds", type=int, default=1, help="number of seeded trials per point")
-    parser.add_argument(
-        "--master-seed",
-        type=int,
-        default=None,
-        metavar="SEED",
-        help="derive the per-point trial seeds from this master seed "
-        "(default: use seeds 1..N directly)",
-    )
-    parser.add_argument(
-        "--distillation",
-        type=float,
-        nargs="*",
-        help="distillation overhead values D to sweep (figure4)",
-    )
-    parser.add_argument(
-        "--distillation-single",
-        type=float,
-        default=1.0,
-        help="distillation overhead D for single-point experiments",
-    )
-    parser.add_argument(
-        "--sizes", type=int, nargs="*", help="network sizes |N| to sweep (figure5, scaling)"
-    )
-    parser.add_argument("--topology", default="cycle", help="topology name for the comparison experiment")
-    parser.add_argument(
-        "--balancer",
-        choices=("naive", "incremental"),
-        default=None,
-        help="balancing engine: 'naive' (full rescan) or 'incremental' (dirty-set, "
-        "identical results, much faster on large topologies); the scaling "
-        "experiment runs both when the flag is omitted",
-    )
-    parser.add_argument(
-        "--scenario",
-        default=None,
-        metavar="SPEC",
-        help="dynamic scenario for the resilience experiment, as "
-        "'name' or 'name:key=value,...' (names: "
-        + ", ".join(name for name in SCENARIO_NAMES if name != "none")
-        + "; default: link-churn)",
-    )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="shrink the resilience sweep to one small fast cell (CI gate)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=None,
-        metavar="N",
-        help="worker processes for sweep experiments (default: 1, i.e. in-process; "
-        "results are identical for any value)",
-    )
-    parser.add_argument(
-        "--cache",
-        action="store_true",
-        help="reuse previously computed trials from the on-disk result cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="result-cache directory (implies --cache; default: $REPRO_CACHE_DIR "
-        "or ~/.cache/repro-quantum)",
-    )
-    parser.add_argument(
-        "--clear-cache",
-        action="store_true",
-        help="delete every cached trial result and exit",
-    )
-    return parser
+def _deliver(result, args: argparse.Namespace, parser: argparse.ArgumentParser) -> None:
+    """Render per --format and write to --output (stdout by default)."""
+    if args.output in (None, "-"):
+        print(result.render(args.format))
+        return
+    try:
+        target = result.write(args.output, format=args.format, force=args.force)
+    except FileExistsError as error:
+        parser.error(f"--output: {error}")
+    print(f"wrote {args.format} result to {target}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.workers is None:
-        args.workers = 1
-    if args.scenario is not None:
-        try:
-            validate_scenario_spec(args.scenario)
-        except ValueError as error:
-            parser.error(f"--scenario: {error}")
+    args, extras = parser.parse_known_args(argv)
+    if extras:
+        if args.experiment is not None:
+            parser.error(
+                f"unknown flag(s) for the '{args.experiment}' experiment: "
+                f"{' '.join(extras)} (run 'repro {args.experiment} --help' to see its flags)"
+            )
+        parser.error(f"unrecognized arguments: {' '.join(extras)}")
     if args.cache_dir is not None:
-        from pathlib import Path
-
         if Path(args.cache_dir).exists() and not Path(args.cache_dir).is_dir():
             parser.error(f"--cache-dir: {args.cache_dir} exists and is not a directory")
     if args.clear_cache:
         cache = ResultCache(args.cache_dir)
         print(f"removed {cache.clear()} cached trial(s) from {cache.directory}")
         return 0
-    if args.list or args.experiment is None:
-        print("available experiments:")
-        for name in sorted(EXPERIMENTS):
-            print(f"  {name}")
+    if args.list or getattr(args, "sub_list", False) or args.experiment is None:
+        _print_listing()
         return 0
-    report = EXPERIMENTS[args.experiment](args)
-    print(report)
+
+    experiment = get_experiment(args.experiment)
+    params = {spec.name: getattr(args, spec.dest) for spec in experiment.cli_specs()}
+    try:
+        # Pre-flight the parameter validation (bad scenario spec, unknown
+        # engine, ...) so it surfaces as a CLI usage error; the actual run
+        # below re-resolves the same params, so it cannot fail validation,
+        # and any later exception is a real bug that tracebacks normally.
+        experiment.normalize(experiment.resolve_params(params))
+    except ValueError as error:
+        parser.error(f"{args.experiment}: {error}")
+    run_kwargs = {}
+    if experiment.supports_runtime:
+        run_kwargs["runtime"] = RuntimeOptions(
+            workers=args.workers if args.workers is not None else 1,
+            cache=_cache_from(args),
+        )
+    result = experiment.run(**params, **run_kwargs)
+    _deliver(result, args, parser)
     return 0
 
 

@@ -1,5 +1,13 @@
 """Experiment harness.
 
+Every experiment is a registered :class:`~repro.experiments.api.Experiment`
+subclass: a ``name``, a one-line ``summary``, a typed
+:class:`~repro.experiments.api.ParamSpec` table, and the
+``build_grid`` / ``execute`` / ``reduce`` hooks.  The registry
+(:mod:`repro.experiments.registry`) is the single source of truth the CLI,
+the docs gates and programmatic callers iterate -- adding a workload means
+registering one class, nothing else.
+
 One module per experiment of the per-experiment index in DESIGN.md:
 
 * :mod:`repro.experiments.figure4` -- swap overhead vs distillation
@@ -16,44 +24,85 @@ One module per experiment of the per-experiment index in DESIGN.md:
 * :mod:`repro.experiments.resilience` -- recovery time and fairness under
   fault-and-churn scenarios (:mod:`repro.scenarios`) vs the static baseline.
 
-Every experiment exposes a ``run_*`` function returning a result object with
-``series()`` / ``rows()`` accessors and a ``format_report()`` renderer; the
-CLI (:mod:`repro.cli`) and the benchmark suite are thin wrappers over these.
+Results satisfy the uniform :class:`~repro.experiments.api.ExperimentResult`
+contract: ``series()`` / ``rows()`` / ``format_report()`` plus the
+machine-readable ``to_json()`` / ``to_csv()`` / ``write()`` surface
+(schema: :mod:`repro.experiments.schema`).  The historical ``run_*``
+functions remain as thin wrappers over the registered classes and return
+bit-identical reports.
 
-Sweep-style experiments (figure4, figure5, comparison, ablations) accept
-``n_workers`` and ``cache`` arguments and execute through the runtime layer
-(:mod:`repro.runtime`), which parallelises trials across processes and
-skips cells already present in the content-addressed result cache --
-without changing a single reported number.
+Sweep-style experiments execute through the runtime layer
+(:mod:`repro.runtime`) -- ``RuntimeOptions(workers=..., cache=...)`` (or
+the legacy ``n_workers``/``cache`` keywords) parallelise trials across
+processes and skip cells already present in the content-addressed result
+cache, without changing a single reported number.
 """
 
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ParamSpec,
+    RuntimeOptions,
+    resolve_trial_seeds,
+)
 from repro.experiments.config import (
     ExperimentConfig,
     TrialOutcome,
     full_mode_enabled,
 )
+from repro.experiments.registry import (
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register,
+)
 from repro.experiments.runner import run_many, run_trial
-from repro.experiments.figure4 import Figure4Result, run_figure4
-from repro.experiments.figure5 import Figure5Result, run_figure5
-from repro.experiments.lp_validation import LPValidationResult, run_lp_validation
-from repro.experiments.comparison import ComparisonResult, run_comparison
-from repro.experiments.ablations import AblationResult, run_ablations
-from repro.experiments.classical_overhead import ClassicalOverheadResult, run_classical_overhead
-from repro.experiments.resilience import ResilienceResult, run_resilience
-from repro.experiments.scaling import ScalingResult, run_scaling
+from repro.experiments.figure4 import Figure4Experiment, Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Experiment, Figure5Result, run_figure5
+from repro.experiments.lp_validation import (
+    LPValidationExperiment,
+    LPValidationResult,
+    run_lp_validation,
+)
+from repro.experiments.comparison import ComparisonExperiment, ComparisonResult, run_comparison
+from repro.experiments.ablations import AblationResult, AblationsExperiment, run_ablations
+from repro.experiments.classical_overhead import (
+    ClassicalOverheadExperiment,
+    ClassicalOverheadResult,
+    run_classical_overhead,
+)
+from repro.experiments.resilience import ResilienceExperiment, ResilienceResult, run_resilience
+from repro.experiments.scaling import ScalingExperiment, ScalingResult, run_scaling
 
 __all__ = [
     "AblationResult",
+    "AblationsExperiment",
+    "ClassicalOverheadExperiment",
     "ClassicalOverheadResult",
+    "ComparisonExperiment",
     "ComparisonResult",
+    "Experiment",
     "ExperimentConfig",
+    "ExperimentResult",
+    "Figure4Experiment",
     "Figure4Result",
+    "Figure5Experiment",
     "Figure5Result",
+    "LPValidationExperiment",
     "LPValidationResult",
+    "ParamSpec",
+    "ResilienceExperiment",
     "ResilienceResult",
+    "RuntimeOptions",
+    "ScalingExperiment",
     "ScalingResult",
     "TrialOutcome",
+    "experiment_names",
     "full_mode_enabled",
+    "get_experiment",
+    "iter_experiments",
+    "register",
+    "resolve_trial_seeds",
     "run_ablations",
     "run_classical_overhead",
     "run_comparison",

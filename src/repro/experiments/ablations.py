@@ -24,8 +24,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ParamSpec,
+    RowTable,
+    RuntimeOptions,
+    columns_of,
+)
 from repro.experiments.config import ExperimentConfig, TrialOutcome
-from repro.experiments.runner import run_many
+from repro.experiments.registry import register
 
 #: The ablation axes this experiment knows how to run.
 ABLATION_AXES: Tuple[str, ...] = (
@@ -54,12 +62,20 @@ class AblationRow:
 
 
 @dataclass
-class AblationResult:
+class AblationResult(ExperimentResult):
     """All ablation rows plus the raw outcomes."""
+
+    experiment = "ablations"
+    COLUMNS = columns_of(AblationRow)
 
     base_config: ExperimentConfig
     rows: List[AblationRow] = field(default_factory=list)
     outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Structured records stay attribute-accessible (result.rows);
+        # calling the table yields the uniform contract's flat tuples.
+        self.rows = RowTable(self.rows)
 
     def rows_for(self, axis: str) -> List[AblationRow]:
         return [row for row in self.rows if row.axis == axis]
@@ -159,6 +175,84 @@ def ablation_variants(
     return variants
 
 
+def _base_config(params) -> ExperimentConfig:
+    return ExperimentConfig(
+        topology=params["topology"],
+        n_nodes=params["n_nodes"],
+        distillation=params["distillation"],
+        n_requests=params["n_requests"],
+        n_consumer_pairs=params["n_consumer_pairs"],
+        seed=params["seed"],
+        balancer=params["balancer"],
+    )
+
+
+@register
+class AblationsExperiment(Experiment):
+    """The design-choice ablations as a registered experiment.
+
+    The full variant grid is materialised up front and executed as one
+    sweep through the runtime layer, so every variant (the base config
+    appears several times; :func:`repro.experiments.runner.run_trial` is
+    pure, so duplicates are identical) can run in parallel and hit the
+    result cache.
+    """
+
+    name = "ablations"
+    summary = "One-knob-at-a-time ablations of the protocol's design choices (E5, Sections 4/6)."
+    supports_runtime = True
+    params = (
+        ParamSpec("n_nodes", int, 25, "number of nodes |N|", flag="--nodes"),
+        ParamSpec("n_requests", int, 50, "length of the consumption request sequence", flag="--requests"),
+        ParamSpec(
+            "balancer",
+            str,
+            "naive",
+            "balancing engine the non-balancer axes run under",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec("axes", tuple, ABLATION_AXES, "ablation axes to run", cli=False),
+        ParamSpec("topology", str, "random-grid", "topology family of the base workload", cli=False),
+        ParamSpec("distillation", float, 2.0, "distillation overhead D of the base workload", cli=False),
+        ParamSpec("n_consumer_pairs", int, 15, "consumer pairs drawn per trial", cli=False),
+        ParamSpec("seed", int, 5, "workload seed", cli=False),
+    )
+
+    def build_grid(self, params) -> List[ExperimentConfig]:
+        variants = ablation_variants(_base_config(params), params["axes"])
+        return [config for _, _, config in variants]
+
+    def reduce(self, outcomes: List[TrialOutcome], params) -> AblationResult:
+        base = _base_config(params)
+        # ablation_variants is deterministic in (base, axes), so the labels
+        # rebuilt here line up 1:1 with the executed grid.
+        variants = ablation_variants(base, params["axes"])
+        result = AblationResult(base_config=base)
+        recurrence_outcome: Optional[TrialOutcome] = None
+        for (axis, variant, _), outcome in zip(variants, outcomes):
+            _record(result, axis, variant, outcome)
+            if axis == "recurrence":
+                recurrence_outcome = outcome
+
+        if recurrence_outcome is not None:
+            outcome = recurrence_outcome
+            # Same run, re-scored under the paper-literal denominator.
+            result.rows.append(
+                AblationRow(
+                    axis="recurrence",
+                    variant="paper-denominator",
+                    overhead_exact=outcome.overhead_paper,
+                    overhead_paper=outcome.overhead_paper,
+                    swaps=outcome.swaps_performed,
+                    rounds=outcome.rounds,
+                    satisfied=f"{outcome.requests_satisfied}/{outcome.requests_total}",
+                    mean_wait=outcome.mean_waiting_rounds,
+                )
+            )
+
+        return result
+
+
 def run_ablations(
     axes: Sequence[str] = ABLATION_AXES,
     topology: str = "random-grid",
@@ -173,12 +267,11 @@ def run_ablations(
 ) -> AblationResult:
     """Run the requested ablation axes on a shared base workload.
 
-    The full variant grid is materialised up front and executed as one
-    sweep through the runtime layer, so every variant (the base config
-    appears several times; :func:`run_trial` is pure, so duplicates are
-    identical) can run in parallel and hit the result cache.
+    Backward-compatible wrapper over :class:`AblationsExperiment`.
     """
-    base = ExperimentConfig(
+    return AblationsExperiment().run(
+        runtime=RuntimeOptions(workers=n_workers, cache=cache),
+        axes=tuple(axes),
         topology=topology,
         n_nodes=n_nodes,
         distillation=distillation,
@@ -187,31 +280,3 @@ def run_ablations(
         seed=seed,
         balancer=balancer,
     )
-    result = AblationResult(base_config=base)
-    variants = ablation_variants(base, axes)
-    outcomes = run_many(
-        [config for _, _, config in variants], n_workers=n_workers, cache=cache
-    )
-    recurrence_outcome: Optional[TrialOutcome] = None
-    for (axis, variant, _), outcome in zip(variants, outcomes):
-        _record(result, axis, variant, outcome)
-        if axis == "recurrence":
-            recurrence_outcome = outcome
-
-    if recurrence_outcome is not None:
-        outcome = recurrence_outcome
-        # Same run, re-scored under the paper-literal denominator.
-        result.rows.append(
-            AblationRow(
-                axis="recurrence",
-                variant="paper-denominator",
-                overhead_exact=outcome.overhead_paper,
-                overhead_paper=outcome.overhead_paper,
-                swaps=outcome.swaps_performed,
-                rounds=outcome.rounds,
-                satisfied=f"{outcome.requests_satisfied}/{outcome.requests_total}",
-                mean_wait=outcome.mean_waiting_rounds,
-            )
-        )
-
-    return result

@@ -21,6 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.experiments.api import Experiment, ExperimentResult, ParamSpec, RowTable, columns_of
+from repro.experiments.registry import register
 from repro.classical.control_plane import FloodingControlPlane
 from repro.classical.gossip import ChokeUnchokeGossip
 from repro.core.maxmin.balancer import MaxMinBalancer
@@ -45,10 +47,18 @@ class ClassicalOverheadRow:
 
 
 @dataclass
-class ClassicalOverheadResult:
+class ClassicalOverheadResult(ExperimentResult):
+    experiment = "classical"
+    COLUMNS = columns_of(ClassicalOverheadRow)
+
     topology: str
     n_nodes: int
     rows: List[ClassicalOverheadRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Structured records stay attribute-accessible (result.rows);
+        # calling the table yields the uniform contract's flat tuples.
+        self.rows = RowTable(self.rows)
 
     def format_report(self) -> str:
         headers = ("strategy", "rounds", "messages", "bits", "bits/round", "coverage", "staleness")
@@ -68,14 +78,17 @@ class ClassicalOverheadResult:
         return format_table(headers, table_rows, title=title)
 
 
-def run_classical_overhead(
-    topology_name: str = "random-grid",
-    n_nodes: int = 16,
-    rounds: int = 50,
-    gossip_fanouts: Sequence[int] = (2, 4),
-    seed: int = 11,
-) -> ClassicalOverheadResult:
-    """Run a balancing workload and account dissemination costs for each strategy."""
+def _account_overheads(
+    topology_name: str,
+    n_nodes: int,
+    rounds: int,
+    gossip_fanouts: Sequence[int],
+    seed: int,
+) -> Tuple[str, List[ClassicalOverheadRow]]:
+    """Run the balancing workload and account each strategy's classical cost.
+
+    Returns the built topology's display name plus one row per strategy.
+    """
     if rounds <= 0:
         raise ValueError(f"rounds must be positive, got {rounds}")
     streams = RandomStreams(seed)
@@ -105,9 +118,9 @@ def run_classical_overhead(
         for gossip in gossips.values():
             gossip.run_round(round_index)
 
-    result = ClassicalOverheadResult(topology=topology.name, n_nodes=n_nodes)
+    result_rows: List[ClassicalOverheadRow] = []
     summary = flooding.summary()
-    result.rows.append(
+    result_rows.append(
         ClassicalOverheadRow(
             strategy="flooding",
             rounds=int(summary["rounds"]),
@@ -123,7 +136,7 @@ def run_classical_overhead(
         coverages = [gossip.coverage(node) for node in topology.nodes]
         staleness = [gossip.staleness_error(node) for node in topology.nodes]
         staleness = [value for value in staleness if value == value]  # drop NaNs
-        result.rows.append(
+        result_rows.append(
             ClassicalOverheadRow(
                 strategy=f"gossip-fanout{fanout}",
                 rounds=int(summary["rounds"]),
@@ -134,4 +147,58 @@ def run_classical_overhead(
                 mean_staleness=float(np.mean(staleness)) if staleness else 0.0,
             )
         )
-    return result
+    return topology.name, result_rows
+
+
+@register
+class ClassicalOverheadExperiment(Experiment):
+    """The control-plane accounting as a registered experiment."""
+
+    name = "classical"
+    summary = "Classical control-plane cost: flooding vs choke/unchoke gossip on one workload (E6)."
+    supports_runtime = False
+    params = (
+        ParamSpec("n_nodes", int, 25, "number of nodes |N|", flag="--nodes"),
+        ParamSpec("topology_name", str, "random-grid", "topology family of the workload", cli=False),
+        ParamSpec("rounds", int, 50, "balancing rounds to drive", cli=False),
+        ParamSpec("gossip_fanouts", tuple, (2, 4), "gossip unchoke fanouts to account", cli=False),
+        ParamSpec("seed", int, 11, "workload seed", cli=False),
+    )
+
+    def build_grid(self, params):
+        return params
+
+    def execute(self, grid, runtime) -> Tuple[str, List[ClassicalOverheadRow]]:
+        return _account_overheads(
+            topology_name=grid["topology_name"],
+            n_nodes=grid["n_nodes"],
+            rounds=grid["rounds"],
+            gossip_fanouts=grid["gossip_fanouts"],
+            seed=grid["seed"],
+        )
+
+    def reduce(self, outcomes, params) -> ClassicalOverheadResult:
+        topology_label, rows = outcomes
+        return ClassicalOverheadResult(
+            topology=topology_label, n_nodes=params["n_nodes"], rows=rows
+        )
+
+
+def run_classical_overhead(
+    topology_name: str = "random-grid",
+    n_nodes: int = 16,
+    rounds: int = 50,
+    gossip_fanouts: Sequence[int] = (2, 4),
+    seed: int = 11,
+) -> ClassicalOverheadResult:
+    """Run a balancing workload and account dissemination costs for each strategy.
+
+    Backward-compatible wrapper over :class:`ClassicalOverheadExperiment`.
+    """
+    return ClassicalOverheadExperiment().run(
+        topology_name=topology_name,
+        n_nodes=n_nodes,
+        rounds=rounds,
+        gossip_fanouts=gossip_fanouts,
+        seed=seed,
+    )

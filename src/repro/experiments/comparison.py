@@ -15,16 +15,30 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
+from repro.experiments.api import Experiment, ExperimentResult, ParamSpec, RuntimeOptions
 from repro.experiments.config import ExperimentConfig, TrialOutcome
-from repro.experiments.runner import PROTOCOL_NAMES, run_many
+from repro.experiments.registry import register
+from repro.experiments.runner import PROTOCOL_NAMES
 
 #: Protocols compared by default.
 DEFAULT_PROTOCOLS: Tuple[str, ...] = PROTOCOL_NAMES
 
 
 @dataclass
-class ComparisonResult:
+class ComparisonResult(ExperimentResult):
     """Per-protocol outcomes on a shared workload."""
+
+    experiment = "comparison"
+    COLUMNS = (
+        "protocol",
+        "swaps",
+        "overhead_exact",
+        "rounds",
+        "mean_waiting_rounds",
+        "satisfied",
+        "pairs_generated",
+        "pairs_remaining",
+    )
 
     topology: str
     n_nodes: int
@@ -69,6 +83,59 @@ class ComparisonResult:
         return format_table(headers, self.rows(), title=title)
 
 
+@register
+class ComparisonExperiment(Experiment):
+    """The protocol comparison as a registered experiment."""
+
+    name = "comparison"
+    summary = "Path-oblivious vs planned-path protocols on one identical workload (E4 trade-off)."
+    supports_runtime = True
+    params = (
+        ParamSpec("topology", str, "cycle", "topology family for the shared workload"),
+        ParamSpec("n_nodes", int, 25, "number of nodes |N|", flag="--nodes"),
+        ParamSpec(
+            "distillation",
+            float,
+            1.0,
+            "distillation overhead D for the single workload point",
+            flag="--distillation-single",
+        ),
+        ParamSpec("n_requests", int, 50, "length of the consumption request sequence", flag="--requests"),
+        ParamSpec(
+            "balancer",
+            str,
+            "naive",
+            "path-oblivious balancing engine (the planned baselines ignore it)",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec("protocols", tuple, DEFAULT_PROTOCOLS, "protocols to run", cli=False),
+        ParamSpec("n_consumer_pairs", int, 20, "consumer pairs drawn per trial", cli=False),
+        ParamSpec("seed", int, 2, "workload seed", cli=False),
+        ParamSpec("max_rounds", int, 200_000, "safety cap on simulated rounds", cli=False),
+    )
+
+    def build_grid(self, params) -> List[ExperimentConfig]:
+        base = ExperimentConfig(
+            topology=params["topology"],
+            n_nodes=params["n_nodes"],
+            distillation=params["distillation"],
+            n_consumer_pairs=params["n_consumer_pairs"],
+            n_requests=params["n_requests"],
+            seed=params["seed"],
+            max_rounds=params["max_rounds"],
+            balancer=params["balancer"],
+        )
+        return [base.with_(protocol=name) for name in params["protocols"]]
+
+    def reduce(self, outcomes: List[TrialOutcome], params) -> ComparisonResult:
+        return ComparisonResult(
+            topology=params["topology"],
+            n_nodes=params["n_nodes"],
+            distillation=params["distillation"],
+            outcomes=outcomes,
+        )
+
+
 def run_comparison(
     topology: str = "cycle",
     n_nodes: int = 16,
@@ -84,22 +151,19 @@ def run_comparison(
 ) -> ComparisonResult:
     """Run every protocol on the identical workload and collect the outcomes.
 
-    ``balancer`` selects the path-oblivious balancing engine; the planned
-    baselines ignore it.
+    Backward-compatible wrapper over :class:`ComparisonExperiment`;
+    ``balancer`` selects the path-oblivious balancing engine (the planned
+    baselines ignore it).
     """
-    base = ExperimentConfig(
+    return ComparisonExperiment().run(
+        runtime=RuntimeOptions(workers=n_workers, cache=cache),
         topology=topology,
         n_nodes=n_nodes,
         distillation=distillation,
-        n_consumer_pairs=n_consumer_pairs,
+        protocols=protocols,
         n_requests=n_requests,
+        n_consumer_pairs=n_consumer_pairs,
         seed=seed,
         max_rounds=max_rounds,
         balancer=balancer,
-    )
-    outcomes = run_many(
-        [base.with_(protocol=name) for name in protocols], n_workers=n_workers, cache=cache
-    )
-    return ComparisonResult(
-        topology=topology, n_nodes=n_nodes, distillation=distillation, outcomes=outcomes
     )

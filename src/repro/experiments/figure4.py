@@ -13,8 +13,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import render_series
 from repro.analysis.statistics import mean_confidence_interval
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ParamSpec,
+    RuntimeOptions,
+    resolve_trial_seeds,
+)
 from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
-from repro.experiments.runner import run_many
+from repro.experiments.registry import register
 
 #: The topology families plotted in the figure.
 FIGURE4_TOPOLOGIES: Tuple[str, ...] = ("cycle", "random-grid", "grid")
@@ -26,8 +33,11 @@ FULL_DISTILLATION_VALUES: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0)
 
 
 @dataclass
-class Figure4Result:
+class Figure4Result(ExperimentResult):
     """Swap overhead per (topology, D), with the per-trial outcomes retained."""
+
+    experiment = "figure4"
+    COLUMNS = ("topology", "distillation", "overhead_exact", "overhead_paper")
 
     n_nodes: int
     distillation_values: Tuple[float, ...]
@@ -104,6 +114,76 @@ def figure4_configs(
     return configs
 
 
+@register
+class Figure4Experiment(Experiment):
+    """Figure 4 as a registered experiment (sweep over ``D``)."""
+
+    name = "figure4"
+    summary = "Swap overhead vs distillation overhead D on the paper's three topologies (Figure 4)."
+    supports_runtime = True
+    params = (
+        ParamSpec("n_nodes", int, 25, "number of nodes |N|", flag="--nodes"),
+        ParamSpec(
+            "distillation_values",
+            float,
+            None,
+            "distillation overhead values D to sweep (default: quick/full preset)",
+            flag="--distillation",
+            nargs="*",
+        ),
+        ParamSpec(
+            "seeds",
+            int,
+            1,
+            "number of seeded trials per point (programmatically: explicit seed sequence)",
+        ),
+        ParamSpec(
+            "master_seed",
+            int,
+            None,
+            "derive the per-point trial seeds from this master seed (default: use seeds 1..N)",
+            flag="--master-seed",
+            metavar="SEED",
+        ),
+        ParamSpec("n_requests", int, 50, "length of the consumption request sequence", flag="--requests"),
+        ParamSpec(
+            "balancer",
+            str,
+            "naive",
+            "balancing engine: full-rescan 'naive' or dirty-set 'incremental' (identical results)",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec("n_consumer_pairs", int, 35, "consumer pairs drawn per trial", cli=False),
+        ParamSpec("topologies", tuple, FIGURE4_TOPOLOGIES, "topology families to sweep", cli=False),
+    )
+
+    def normalize(self, params):
+        params["seeds"] = resolve_trial_seeds(params["seeds"], params["master_seed"])
+        if not params["distillation_values"]:
+            params["distillation_values"] = None  # bare --distillation means "use the preset"
+        return params
+
+    def build_grid(self, params) -> List[ExperimentConfig]:
+        return figure4_configs(
+            n_nodes=params["n_nodes"],
+            distillation_values=params["distillation_values"],
+            topologies=params["topologies"],
+            seeds=params["seeds"],
+            n_requests=params["n_requests"],
+            n_consumer_pairs=params["n_consumer_pairs"],
+            balancer=params["balancer"],
+        )
+
+    def reduce(self, outcomes: List[TrialOutcome], params) -> Figure4Result:
+        distillations = tuple(sorted({outcome.config.distillation for outcome in outcomes}))
+        return Figure4Result(
+            n_nodes=params["n_nodes"],
+            distillation_values=distillations,
+            topologies=tuple(params["topologies"]),
+            outcomes=outcomes,
+        )
+
+
 def run_figure4(
     n_nodes: int = 25,
     distillation_values: Optional[Sequence[float]] = None,
@@ -117,12 +197,12 @@ def run_figure4(
 ) -> Figure4Result:
     """Run the Figure 4 sweep and return the collected series.
 
-    ``n_workers`` and ``cache`` are forwarded to the runtime layer
-    (:func:`repro.experiments.runner.run_many`); the series are
-    bit-identical for any worker count.  ``balancer`` selects the balancing
-    engine (``naive``/``incremental``); both produce identical series.
+    Backward-compatible wrapper over :class:`Figure4Experiment`;
+    ``n_workers`` and ``cache`` thread into :class:`RuntimeOptions` and the
+    series stay bit-identical for any worker count or balancing engine.
     """
-    configs = figure4_configs(
+    return Figure4Experiment().run(
+        runtime=RuntimeOptions(workers=n_workers, cache=cache),
         n_nodes=n_nodes,
         distillation_values=distillation_values,
         topologies=topologies,
@@ -130,12 +210,4 @@ def run_figure4(
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
         balancer=balancer,
-    )
-    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
-    distillations = tuple(sorted({config.distillation for config in configs}))
-    return Figure4Result(
-        n_nodes=n_nodes,
-        distillation_values=distillations,
-        topologies=tuple(topologies),
-        outcomes=outcomes,
     )

@@ -12,9 +12,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import render_series
 from repro.analysis.statistics import mean_confidence_interval
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ParamSpec,
+    RuntimeOptions,
+    resolve_trial_seeds,
+)
 from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
 from repro.experiments.figure4 import FIGURE4_TOPOLOGIES
-from repro.experiments.runner import run_many
+from repro.experiments.registry import register
 
 #: Quick sweep (CI / benchmarks) and full sweep (REPRO_FULL=1) of |N|.
 QUICK_NETWORK_SIZES: Tuple[int, ...] = (9, 16, 25)
@@ -22,8 +29,11 @@ FULL_NETWORK_SIZES: Tuple[int, ...] = (9, 16, 25, 36, 49)
 
 
 @dataclass
-class Figure5Result:
+class Figure5Result(ExperimentResult):
     """Swap overhead per (topology, |N|)."""
+
+    experiment = "figure5"
+    COLUMNS = ("topology", "n_nodes", "overhead_exact", "overhead_paper")
 
     distillation: float
     network_sizes: Tuple[int, ...]
@@ -89,6 +99,76 @@ def figure5_configs(
     return configs
 
 
+@register
+class Figure5Experiment(Experiment):
+    """Figure 5 as a registered experiment (sweep over ``|N|``)."""
+
+    name = "figure5"
+    summary = "Swap overhead vs network size |N| at D=1 on the paper's three topologies (Figure 5)."
+    supports_runtime = True
+    params = (
+        ParamSpec(
+            "network_sizes",
+            int,
+            None,
+            "network sizes |N| to sweep (default: quick/full preset)",
+            flag="--sizes",
+            nargs="*",
+        ),
+        ParamSpec(
+            "seeds",
+            int,
+            1,
+            "number of seeded trials per point (programmatically: explicit seed sequence)",
+        ),
+        ParamSpec(
+            "master_seed",
+            int,
+            None,
+            "derive the per-point trial seeds from this master seed (default: use seeds 1..N)",
+            flag="--master-seed",
+            metavar="SEED",
+        ),
+        ParamSpec("n_requests", int, 50, "length of the consumption request sequence", flag="--requests"),
+        ParamSpec(
+            "balancer",
+            str,
+            "naive",
+            "balancing engine: full-rescan 'naive' or dirty-set 'incremental' (identical results)",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec("distillation", float, 1.0, "distillation overhead D", cli=False),
+        ParamSpec("n_consumer_pairs", int, 35, "consumer pairs drawn per trial", cli=False),
+        ParamSpec("topologies", tuple, FIGURE4_TOPOLOGIES, "topology families to sweep", cli=False),
+    )
+
+    def normalize(self, params):
+        params["seeds"] = resolve_trial_seeds(params["seeds"], params["master_seed"])
+        if not params["network_sizes"]:
+            params["network_sizes"] = None  # bare --sizes means "use the preset"
+        return params
+
+    def build_grid(self, params) -> List[ExperimentConfig]:
+        return figure5_configs(
+            distillation=params["distillation"],
+            network_sizes=params["network_sizes"],
+            topologies=params["topologies"],
+            seeds=params["seeds"],
+            n_requests=params["n_requests"],
+            n_consumer_pairs=params["n_consumer_pairs"],
+            balancer=params["balancer"],
+        )
+
+    def reduce(self, outcomes: List[TrialOutcome], params) -> Figure5Result:
+        sizes = tuple(sorted({outcome.config.n_nodes for outcome in outcomes}))
+        return Figure5Result(
+            distillation=params["distillation"],
+            network_sizes=sizes,
+            topologies=tuple(params["topologies"]),
+            outcomes=outcomes,
+        )
+
+
 def run_figure5(
     distillation: float = 1.0,
     network_sizes: Optional[Sequence[int]] = None,
@@ -102,12 +182,12 @@ def run_figure5(
 ) -> Figure5Result:
     """Run the Figure 5 sweep and return the collected series.
 
-    ``n_workers`` and ``cache`` are forwarded to the runtime layer
-    (:func:`repro.experiments.runner.run_many`); the series are
-    bit-identical for any worker count.  ``balancer`` selects the balancing
-    engine (``naive``/``incremental``); both produce identical series.
+    Backward-compatible wrapper over :class:`Figure5Experiment`;
+    ``n_workers`` and ``cache`` thread into :class:`RuntimeOptions` and the
+    series stay bit-identical for any worker count or balancing engine.
     """
-    configs = figure5_configs(
+    return Figure5Experiment().run(
+        runtime=RuntimeOptions(workers=n_workers, cache=cache),
         distillation=distillation,
         network_sizes=network_sizes,
         topologies=topologies,
@@ -115,12 +195,4 @@ def run_figure5(
         n_requests=n_requests,
         n_consumer_pairs=n_consumer_pairs,
         balancer=balancer,
-    )
-    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
-    sizes = tuple(sorted({config.n_nodes for config in configs}))
-    return Figure5Result(
-        distillation=distillation,
-        network_sizes=sizes,
-        topologies=tuple(topologies),
-        outcomes=outcomes,
     )

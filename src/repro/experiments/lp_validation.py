@@ -17,6 +17,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.experiments.api import Experiment, ExperimentResult, ParamSpec, RowTable, columns_of
+from repro.experiments.registry import register
 from repro.core.lp.extensions import PairOverheads
 from repro.core.lp.formulation import PathObliviousFlowProgram
 from repro.core.lp.objectives import Objective
@@ -48,10 +50,18 @@ class LPValidationRow:
 
 
 @dataclass
-class LPValidationResult:
+class LPValidationResult(ExperimentResult):
     """All LP solves performed by the experiment."""
 
+    experiment = "lp"
+    COLUMNS = columns_of(LPValidationRow)
+
     rows: List[LPValidationRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # The structured records stay attribute-accessible (result.rows);
+        # calling the table yields the uniform contract's flat tuples.
+        self.rows = RowTable(self.rows)
 
     def series(self) -> Dict[str, Dict[float, float]]:
         """``topology -> {D -> alpha}`` for the proportional-scaling objective."""
@@ -118,19 +128,25 @@ def _solve_and_check(
     return solution, rates.is_consistent
 
 
-def run_lp_validation(
-    topologies: Sequence[str] = ("cycle", "grid"),
-    n_nodes: int = 16,
-    demand_pairs: int = 10,
-    demand_rate: float = 0.2,
-    distillation_values: Sequence[float] = (1.0, 2.0),
-    loss_values: Sequence[float] = (1.0,),
-    qec_overheads: Sequence[float] = (1.0,),
-    objectives: Sequence[Objective] = tuple(Objective),
-    seed: int = 3,
-) -> LPValidationResult:
-    """Solve the LP grid and verify steady-state consistency of every solution."""
-    result = LPValidationResult()
+def _solve_rows(
+    topologies: Sequence[str],
+    n_nodes: int,
+    demand_pairs: int,
+    demand_rate: float,
+    distillation_values: Sequence[float],
+    loss_values: Sequence[float],
+    qec_overheads: Sequence[float],
+    objectives: Sequence[Objective],
+    seed: int,
+) -> List[LPValidationRow]:
+    """Solve the LP grid and verify steady-state consistency of every solution.
+
+    One in-process loop sharing a single :class:`RandomStreams` across the
+    grid (the topology draw order is part of the experiment's determinism
+    contract), so this stays a single ``execute`` unit rather than a
+    parallel sweep.
+    """
+    rows: List[LPValidationRow] = []
     streams = RandomStreams(seed)
     for topology_name in topologies:
         topology = topology_from_name(topology_name, n_nodes, rng=streams.get("topology"))
@@ -150,7 +166,7 @@ def run_lp_validation(
                             # support under these overheads -- exactly the regime
                             # the paper's consumption-maximising objectives exist
                             # for.  Record the infeasibility instead of failing.
-                            result.rows.append(
+                            rows.append(
                                 LPValidationRow(
                                     topology=topology_name,
                                     n_nodes=n_nodes,
@@ -168,7 +184,7 @@ def run_lp_validation(
                                 )
                             )
                             continue
-                        result.rows.append(
+                        rows.append(
                             LPValidationRow(
                                 topology=topology_name,
                                 n_nodes=n_nodes,
@@ -184,4 +200,71 @@ def run_lp_validation(
                                 steady_state_ok=consistent,
                             )
                         )
-    return result
+    return rows
+
+
+@register
+class LPValidationExperiment(Experiment):
+    """The Section 3 LP as a registered experiment (in-process solve grid)."""
+
+    name = "lp"
+    summary = "Validate the Section 3 LP: every objective, steady-state-checked, with D/L/R extensions."
+    supports_runtime = False
+    params = (
+        ParamSpec("n_nodes", int, 25, "number of nodes |N|", flag="--nodes"),
+        ParamSpec("topologies", tuple, ("cycle", "grid"), "topology families to solve on", cli=False),
+        ParamSpec("demand_pairs", int, 10, "consumer pairs in the demand matrix", cli=False),
+        ParamSpec("demand_rate", float, 0.2, "uniform per-pair demand rate", cli=False),
+        ParamSpec("distillation_values", tuple, (1.0, 2.0), "distillation overheads D", cli=False),
+        ParamSpec("loss_values", tuple, (1.0,), "loss factors L", cli=False),
+        ParamSpec("qec_overheads", tuple, (1.0,), "QEC overheads R", cli=False),
+        ParamSpec("objectives", tuple, tuple(Objective), "LP objectives to solve", cli=False),
+        ParamSpec("seed", int, 3, "seed for topology/demand draws", cli=False),
+    )
+
+    def build_grid(self, params):
+        return params
+
+    def execute(self, grid, runtime) -> List[LPValidationRow]:
+        return _solve_rows(
+            topologies=grid["topologies"],
+            n_nodes=grid["n_nodes"],
+            demand_pairs=grid["demand_pairs"],
+            demand_rate=grid["demand_rate"],
+            distillation_values=grid["distillation_values"],
+            loss_values=grid["loss_values"],
+            qec_overheads=grid["qec_overheads"],
+            objectives=grid["objectives"],
+            seed=grid["seed"],
+        )
+
+    def reduce(self, outcomes: List[LPValidationRow], params) -> LPValidationResult:
+        return LPValidationResult(rows=outcomes)
+
+
+def run_lp_validation(
+    topologies: Sequence[str] = ("cycle", "grid"),
+    n_nodes: int = 16,
+    demand_pairs: int = 10,
+    demand_rate: float = 0.2,
+    distillation_values: Sequence[float] = (1.0, 2.0),
+    loss_values: Sequence[float] = (1.0,),
+    qec_overheads: Sequence[float] = (1.0,),
+    objectives: Sequence[Objective] = tuple(Objective),
+    seed: int = 3,
+) -> LPValidationResult:
+    """Solve the LP grid and verify steady-state consistency of every solution.
+
+    Backward-compatible wrapper over :class:`LPValidationExperiment`.
+    """
+    return LPValidationExperiment().run(
+        topologies=topologies,
+        n_nodes=n_nodes,
+        demand_pairs=demand_pairs,
+        demand_rate=demand_rate,
+        distillation_values=distillation_values,
+        loss_values=loss_values,
+        qec_overheads=qec_overheads,
+        objectives=objectives,
+        seed=seed,
+    )

@@ -1,0 +1,73 @@
+"""The experiment registry.
+
+Topologies and scenarios already resolve by name; this module gives
+experiments the same treatment.  Each experiment module decorates its
+:class:`~repro.experiments.api.Experiment` subclass with :func:`register`,
+and everything downstream -- the CLI's auto-generated subparsers,
+``repro --list``, the docs/CI coverage gates, programmatic callers using
+:func:`get_experiment` -- iterates the registry instead of hand-maintained
+tables.  Adding a workload is registering one class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type
+
+from repro.experiments.api import Experiment, ParamSpec
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_class: Type[Experiment]) -> Type[Experiment]:
+    """Class decorator: validate and register an experiment (by its ``name``).
+
+    The class is instantiated once, eagerly, so malformed parameter tables
+    fail at import time rather than mid-run.  Re-registering the same class
+    (module reloads) is a no-op; a *different* class claiming a taken name
+    is an error.
+    """
+    instance = experiment_class()
+    name = instance.name
+    if not name:
+        raise ValueError(f"{experiment_class.__qualname__} must set a non-empty name")
+    if not instance.summary:
+        raise ValueError(f"experiment {name!r} must set a one-line summary")
+    seen_params: set = set()
+    seen_flags: set = set()
+    for spec in instance.params:
+        if not isinstance(spec, ParamSpec):
+            raise TypeError(f"experiment {name!r}: params must be ParamSpec, got {spec!r}")
+        if spec.name in seen_params:
+            raise ValueError(f"experiment {name!r}: duplicate parameter {spec.name!r}")
+        seen_params.add(spec.name)
+        if spec.cli:
+            if spec.cli_flag in seen_flags:
+                raise ValueError(f"experiment {name!r}: duplicate CLI flag {spec.cli_flag!r}")
+            seen_flags.add(spec.cli_flag)
+    existing = _REGISTRY.get(name)
+    if existing is not None and type(existing).__qualname__ != experiment_class.__qualname__:
+        raise ValueError(
+            f"experiment name {name!r} already registered by {type(existing).__qualname__}"
+        )
+    _REGISTRY[name] = instance
+    return experiment_class
+
+
+def get_experiment(name: str) -> Experiment:
+    """The registered experiment called ``name`` (KeyError with the menu)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {', '.join(experiment_names())}"
+        ) from None
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """Every registered experiment name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def iter_experiments() -> List[Experiment]:
+    """Every registered experiment instance, sorted by name."""
+    return [_REGISTRY[name] for name in experiment_names()]

@@ -27,9 +27,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.fairness import jains_index
 from repro.analysis.reporting import format_table
+from repro.experiments.api import (
+    Experiment,
+    ExperimentResult,
+    ParamSpec,
+    RowTable,
+    RuntimeOptions,
+    columns_of,
+    resolve_trial_seeds,
+)
 from repro.experiments.config import ExperimentConfig, TrialOutcome, full_mode_enabled
-from repro.experiments.runner import run_many
-from repro.scenarios.registry import NO_SCENARIO, validate_scenario_spec
+from repro.experiments.registry import register
+from repro.scenarios.registry import NO_SCENARIO, SCENARIO_NAMES, validate_scenario_spec
 
 #: Default churn scenario when the caller does not pick one.
 DEFAULT_RESILIENCE_SCENARIO = "link-churn"
@@ -65,14 +74,22 @@ class ResilienceRow:
 
 
 @dataclass
-class ResilienceResult:
+class ResilienceResult(ExperimentResult):
     """All resilience rows plus the churn-vs-static accessors."""
+
+    experiment = "resilience"
+    COLUMNS = columns_of(ResilienceRow)
 
     scenario: str
     sizes: Tuple[int, ...]
     balancers: Tuple[str, ...]
     seeds: Tuple[int, ...]
     rows: List[ResilienceRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Structured records stay attribute-accessible (result.rows);
+        # calling the table yields the uniform contract's flat tuples.
+        self.rows = RowTable(self.rows)
 
     def row_for(
         self, n_nodes: int, scenario: str, balancer: str, seed: int
@@ -147,6 +164,157 @@ def _fairness(outcome: TrialOutcome) -> float:
     return jains_index(values)
 
 
+def _scenario_spec(value: str) -> str:
+    """argparse type: validate a scenario spec string, keeping it verbatim."""
+    return validate_scenario_spec(value)
+
+
+@register
+class ResilienceExperiment(Experiment):
+    """The fault-and-churn sweep as a registered experiment.
+
+    When several balancer engines are requested, each (size, scenario, seed)
+    cell is asserted to produce identical rounds, swap counts and
+    per-consumer service across engines -- the incremental engine's
+    bit-identical-under-failures contract, checked end to end.
+    """
+
+    name = "resilience"
+    summary = "Recovery time and fairness under fault-and-churn scenarios vs the static baseline."
+    supports_runtime = True
+    params = (
+        ParamSpec(
+            "sizes",
+            int,
+            None,
+            "network sizes |N| to sweep (default: quick/full preset)",
+            nargs="*",
+        ),
+        ParamSpec(
+            "scenario",
+            _scenario_spec,
+            DEFAULT_RESILIENCE_SCENARIO,
+            "dynamic scenario, as 'name' or 'name:key=value,...' (names: "
+            + ", ".join(name for name in SCENARIO_NAMES if name != "none")
+            + ")",
+            metavar="SPEC",
+        ),
+        ParamSpec(
+            "seeds",
+            int,
+            1,
+            "number of seeded trials per cell (programmatically: explicit seed sequence)",
+        ),
+        ParamSpec(
+            "master_seed",
+            int,
+            None,
+            "derive the per-cell trial seeds from this master seed (default: use seeds 1..N)",
+            flag="--master-seed",
+            metavar="SEED",
+        ),
+        ParamSpec("n_requests", int, 50, "length of the consumption request sequence", flag="--requests"),
+        ParamSpec("topology", str, "cycle", "topology family of the workload"),
+        ParamSpec(
+            "balancer",
+            str,
+            None,
+            "run only this balancing engine (default: both, which also cross-checks each cell)",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec(
+            "smoke",
+            bool,
+            False,
+            "shrink the sweep to one small fast cell (CI gate)",
+            is_flag=True,
+        ),
+        ParamSpec("balancers", tuple, None, "explicit engine list (overrides balancer)", cli=False),
+        ParamSpec("max_rounds", int, 20_000, "safety cap on simulated rounds", cli=False),
+    )
+
+    def normalize(self, params):
+        scenario = validate_scenario_spec(params["scenario"])
+        if scenario == NO_SCENARIO:
+            raise ValueError("the resilience experiment needs a real scenario, not 'none'")
+        params["scenario"] = scenario
+        balancers = params["balancers"]
+        if balancers is None:
+            balancer = params["balancer"]
+            balancers = (balancer,) if balancer else ("naive", "incremental")
+        params["balancers"] = tuple(balancers)
+        seeds = resolve_trial_seeds(params["seeds"], params["master_seed"])
+        sizes = params["sizes"]
+        if params["smoke"]:
+            sizes = SMOKE_SIZES
+            seeds = seeds[:1] or (1,)
+            params["n_requests"] = min(params["n_requests"], 20)
+            params["max_rounds"] = min(params["max_rounds"], 3000)
+        elif not sizes:  # None or a bare --sizes: use the preset
+            sizes = FULL_RESILIENCE_SIZES if full_mode_enabled() else QUICK_RESILIENCE_SIZES
+        params["sizes"] = tuple(int(size) for size in sizes)
+        params["seeds"] = tuple(int(seed) for seed in seeds)
+        return params
+
+    def build_grid(self, params) -> List[ExperimentConfig]:
+        return [
+            ExperimentConfig(
+                topology=params["topology"],
+                n_nodes=size,
+                n_requests=params["n_requests"],
+                seed=seed,
+                balancer=balancer,
+                scenario=spec,
+                max_rounds=params["max_rounds"],
+            )
+            for size in params["sizes"]
+            for spec in (NO_SCENARIO, params["scenario"])
+            for balancer in params["balancers"]
+            for seed in params["seeds"]
+        ]
+
+    def reduce(self, outcomes: List[TrialOutcome], params) -> ResilienceResult:
+        result = ResilienceResult(
+            scenario=params["scenario"],
+            sizes=params["sizes"],
+            balancers=params["balancers"],
+            seeds=params["seeds"],
+        )
+        by_cell: Dict[Tuple[int, str, int], List[TrialOutcome]] = {}
+        for outcome in outcomes:
+            config = outcome.config
+            result.rows.append(
+                ResilienceRow(
+                    n_nodes=config.n_nodes,
+                    scenario=config.scenario,
+                    balancer=config.balancer,
+                    seed=config.seed,
+                    rounds=outcome.rounds,
+                    requests_satisfied=outcome.requests_satisfied,
+                    requests_total=outcome.requests_total,
+                    swaps=outcome.swaps_performed,
+                    mean_waiting_rounds=outcome.mean_waiting_rounds,
+                    fairness=_fairness(outcome),
+                )
+            )
+            by_cell.setdefault((config.n_nodes, config.scenario, config.seed), []).append(outcome)
+
+        for (size, spec, seed), cell in by_cell.items():
+            reference = cell[0]
+            for other in cell[1:]:
+                if (
+                    other.rounds != reference.rounds
+                    or other.swaps_performed != reference.swaps_performed
+                    or other.consumption_by_pair != reference.consumption_by_pair
+                ):
+                    raise RuntimeError(
+                        f"balancer engines disagree under scenario {spec!r} "
+                        f"(|N|={size}, seed={seed}): {reference.config.balancer} vs "
+                        f"{other.config.balancer}"
+                    )
+        return result
+
+
 def run_resilience(
     sizes: Optional[Sequence[int]] = None,
     scenario: str = DEFAULT_RESILIENCE_SCENARIO,
@@ -161,75 +329,17 @@ def run_resilience(
 ) -> ResilienceResult:
     """Run the fault-and-churn sweep (static baseline vs ``scenario``).
 
-    When several balancer engines are requested, each (size, scenario, seed)
-    cell is asserted to produce identical rounds, swap counts and
-    per-consumer service across engines -- the incremental engine's
-    bit-identical-under-failures contract, checked end to end.
+    Backward-compatible wrapper over :class:`ResilienceExperiment`; when
+    several balancer engines run, every cell is cross-checked bit-identical.
     """
-    scenario = validate_scenario_spec(scenario)
-    if scenario == NO_SCENARIO:
-        raise ValueError("run_resilience needs a real scenario, not 'none'")
-    if smoke:
-        sizes = SMOKE_SIZES
-        seeds = tuple(seeds)[:1] or (1,)
-        n_requests = min(n_requests, 20)
-        max_rounds = min(max_rounds, 3000)
-    elif sizes is None:
-        sizes = FULL_RESILIENCE_SIZES if full_mode_enabled() else QUICK_RESILIENCE_SIZES
-    result = ResilienceResult(
+    return ResilienceExperiment().run(
+        runtime=RuntimeOptions(workers=n_workers, cache=cache),
+        sizes=sizes,
         scenario=scenario,
-        sizes=tuple(int(size) for size in sizes),
+        seeds=seeds,
+        n_requests=n_requests,
+        topology=topology,
         balancers=tuple(balancers),
-        seeds=tuple(int(seed) for seed in seeds),
+        smoke=smoke,
+        max_rounds=max_rounds,
     )
-
-    configs = [
-        ExperimentConfig(
-            topology=topology,
-            n_nodes=size,
-            n_requests=n_requests,
-            seed=seed,
-            balancer=balancer,
-            scenario=spec,
-            max_rounds=max_rounds,
-        )
-        for size in result.sizes
-        for spec in (NO_SCENARIO, scenario)
-        for balancer in result.balancers
-        for seed in result.seeds
-    ]
-    outcomes = run_many(configs, n_workers=n_workers, cache=cache)
-
-    by_cell: Dict[Tuple[int, str, int], List[TrialOutcome]] = {}
-    for outcome in outcomes:
-        config = outcome.config
-        result.rows.append(
-            ResilienceRow(
-                n_nodes=config.n_nodes,
-                scenario=config.scenario,
-                balancer=config.balancer,
-                seed=config.seed,
-                rounds=outcome.rounds,
-                requests_satisfied=outcome.requests_satisfied,
-                requests_total=outcome.requests_total,
-                swaps=outcome.swaps_performed,
-                mean_waiting_rounds=outcome.mean_waiting_rounds,
-                fairness=_fairness(outcome),
-            )
-        )
-        by_cell.setdefault((config.n_nodes, config.scenario, config.seed), []).append(outcome)
-
-    for (size, spec, seed), cell in by_cell.items():
-        reference = cell[0]
-        for other in cell[1:]:
-            if (
-                other.rounds != reference.rounds
-                or other.swaps_performed != reference.swaps_performed
-                or other.consumption_by_pair != reference.consumption_by_pair
-            ):
-                raise RuntimeError(
-                    f"balancer engines disagree under scenario {spec!r} "
-                    f"(|N|={size}, seed={seed}): {reference.config.balancer} vs "
-                    f"{other.config.balancer}"
-                )
-    return result

@@ -29,7 +29,10 @@ from repro.analysis.fairness import balanced_fixed_point, count_imbalance
 from repro.analysis.reporting import format_table
 from repro.core.maxmin.incremental import BALANCER_ENGINES
 from repro.core.maxmin.ledger import PairCountLedger
+from repro.experiments.api import Experiment, ExperimentResult, ParamSpec, RowTable, columns_of
 from repro.experiments.config import full_mode_enabled
+from repro.experiments.registry import register
+from repro.runtime.seeding import seed_grid
 from repro.network.topologies import topology_from_name
 from repro.network.topology import Topology
 from repro.sim.rng import RandomStreams
@@ -64,13 +67,21 @@ class ScalingRow:
 
 
 @dataclass
-class ScalingResult:
+class ScalingResult(ExperimentResult):
     """All scaling rows, with per-cell speedup accessors."""
+
+    experiment = "scaling"
+    COLUMNS = columns_of(ScalingRow)
 
     sizes: Tuple[int, ...]
     topologies: Tuple[str, ...]
     engines: Tuple[str, ...]
     rows: List[ScalingRow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Structured records stay attribute-accessible (result.rows);
+        # calling the table yields the uniform contract's flat tuples.
+        self.rows = RowTable(self.rows)
 
     def row_for(self, topology: str, n_nodes: int, engine: str) -> Optional[ScalingRow]:
         for row in self.rows:
@@ -174,6 +185,161 @@ def build_scaling_ledger(
     return graph, ledger
 
 
+def _run_scaling_cell(
+    topology: str,
+    size: int,
+    engines: Sequence[str],
+    seed: int,
+    distillation: float,
+    max_rounds: int,
+    base_pairs: int,
+    hot_fraction: float,
+    hot_depth: int,
+) -> List[ScalingRow]:
+    """Balance one (topology, |N|) cell with every engine and cross-check.
+
+    Every engine balances an identical copy of the cell's seeded ledger;
+    when more than one engine runs, the fixed points are asserted identical
+    (the incremental engine's contract) before the rows are returned.
+    """
+    graph, seeded = build_scaling_ledger(
+        topology,
+        size,
+        seed=seed,
+        base_pairs=base_pairs,
+        hot_fraction=hot_fraction,
+        hot_depth=hot_depth,
+    )
+    imbalance_before = count_imbalance(seeded)
+    pairs_before = seeded.total_pairs()
+    fixed_points: Dict[str, Dict] = {}
+    rows: List[ScalingRow] = []
+    for engine in engines:
+        start = time.perf_counter()
+        converged, balancer, rounds = balanced_fixed_point(
+            seeded,
+            overheads=distillation,
+            engine=engine,
+            max_rounds=max_rounds,
+            seed=seed,
+        )
+        elapsed = time.perf_counter() - start
+        fixed_points[engine] = converged.nonzero_pairs()
+        rows.append(
+            ScalingRow(
+                topology=topology,
+                n_nodes=size,
+                actual_nodes=graph.n_nodes,
+                engine=engine,
+                ledger_pairs_before=pairs_before,
+                imbalance_before=imbalance_before,
+                imbalance_after=count_imbalance(converged),
+                rounds=rounds,
+                swaps=balancer.swaps_performed,
+                seconds=elapsed,
+            )
+        )
+    if len(fixed_points) > 1:
+        reference = fixed_points[engines[0]]
+        for engine, pairs in fixed_points.items():
+            if pairs != reference:
+                raise RuntimeError(
+                    f"balancer engines disagree on ({topology}, |N|={size}): "
+                    f"{engines[0]} vs {engine}"
+                )
+    return rows
+
+
+@register
+class ScalingExperiment(Experiment):
+    """The large-topology balancing sweep as a registered experiment."""
+
+    name = "scaling"
+    summary = "Max-min balancing on 200-1000-node topologies: naive vs incremental engine speedup."
+    supports_runtime = False
+    params = (
+        ParamSpec(
+            "sizes",
+            int,
+            None,
+            "network sizes |N| to sweep (default: quick/full preset)",
+            nargs="*",
+        ),
+        ParamSpec(
+            "balancer",
+            str,
+            None,
+            "run only this balancing engine (default: both, which also cross-checks fixed points)",
+            choices=("naive", "incremental"),
+        ),
+        ParamSpec(
+            "master_seed",
+            int,
+            None,
+            "derive the workload seed from this master seed (SHA-256, never used verbatim)",
+            flag="--master-seed",
+            metavar="SEED",
+        ),
+        ParamSpec("topologies", tuple, SCALING_TOPOLOGIES, "topology families to sweep", cli=False),
+        ParamSpec("engines", tuple, None, "explicit engine list (overrides balancer)", cli=False),
+        ParamSpec("seed", int, 1, "workload seed", cli=False),
+        ParamSpec("distillation", float, 1.0, "distillation overhead D", cli=False),
+        ParamSpec("max_rounds", int, 200_000, "safety cap on balancing rounds", cli=False),
+        ParamSpec("base_pairs", int, 4, "max pairs seeded on every generation edge", cli=False),
+        ParamSpec("hot_fraction", float, 0.02, "fraction of edges given deep buffers", cli=False),
+        ParamSpec("hot_depth", int, 300, "pair depth of the hot edges", cli=False),
+    )
+
+    def normalize(self, params):
+        engines = params["engines"]
+        if engines is None:
+            balancer = params["balancer"]
+            engines = (balancer,) if balancer else ("naive", "incremental")
+        params["engines"] = tuple(engines)
+        unknown = [engine for engine in params["engines"] if engine not in BALANCER_ENGINES]
+        if unknown:
+            raise ValueError(f"unknown balancer engines {unknown}; choose from {BALANCER_ENGINES}")
+        if params["master_seed"] is not None:
+            params["seed"] = seed_grid(params["master_seed"], 1)[0]
+        sizes = params["sizes"]
+        if not sizes:  # None or a bare --sizes: use the preset
+            sizes = FULL_SCALING_SIZES if full_mode_enabled() else QUICK_SCALING_SIZES
+        params["sizes"] = tuple(int(size) for size in sizes)
+        return params
+
+    def build_grid(self, params) -> List[Dict]:
+        return [
+            dict(
+                topology=topology,
+                size=size,
+                engines=params["engines"],
+                seed=params["seed"],
+                distillation=params["distillation"],
+                max_rounds=params["max_rounds"],
+                base_pairs=params["base_pairs"],
+                hot_fraction=params["hot_fraction"],
+                hot_depth=params["hot_depth"],
+            )
+            for topology in params["topologies"]
+            for size in params["sizes"]
+        ]
+
+    def execute(self, grid, runtime) -> List[List[ScalingRow]]:
+        # Wall-clock per engine is the measurement, so cells run in-process
+        # and sequentially (a process pool would skew the timings).
+        return [_run_scaling_cell(**cell) for cell in grid]
+
+    def reduce(self, outcomes: List[List[ScalingRow]], params) -> ScalingResult:
+        result = ScalingResult(
+            sizes=params["sizes"],
+            topologies=tuple(params["topologies"]),
+            engines=params["engines"],
+        )
+        for cell_rows in outcomes:
+            result.rows.extend(cell_rows)
+        return result
+
+
 def run_scaling(
     topologies: Sequence[str] = SCALING_TOPOLOGIES,
     sizes: Optional[Sequence[int]] = None,
@@ -187,64 +353,18 @@ def run_scaling(
 ) -> ScalingResult:
     """Run the large-topology balancing sweep.
 
-    Every engine in ``engines`` balances an identical copy of each cell's
-    ledger; when both engines run, the fixed points are asserted identical
-    (the incremental engine's contract) before the result is returned.
+    Backward-compatible wrapper over :class:`ScalingExperiment`; every
+    engine balances an identical copy of each cell's ledger, and when both
+    engines run their fixed points are asserted identical.
     """
-    unknown = [engine for engine in engines if engine not in BALANCER_ENGINES]
-    if unknown:
-        raise ValueError(f"unknown balancer engines {unknown}; choose from {BALANCER_ENGINES}")
-    if sizes is None:
-        sizes = FULL_SCALING_SIZES if full_mode_enabled() else QUICK_SCALING_SIZES
-    result = ScalingResult(
-        sizes=tuple(int(size) for size in sizes),
-        topologies=tuple(topologies),
+    return ScalingExperiment().run(
+        topologies=topologies,
+        sizes=sizes,
         engines=tuple(engines),
+        seed=seed,
+        distillation=distillation,
+        max_rounds=max_rounds,
+        base_pairs=base_pairs,
+        hot_fraction=hot_fraction,
+        hot_depth=hot_depth,
     )
-    for topology in topologies:
-        for size in result.sizes:
-            graph, seeded = build_scaling_ledger(
-                topology,
-                size,
-                seed=seed,
-                base_pairs=base_pairs,
-                hot_fraction=hot_fraction,
-                hot_depth=hot_depth,
-            )
-            imbalance_before = count_imbalance(seeded)
-            pairs_before = seeded.total_pairs()
-            fixed_points: Dict[str, Dict] = {}
-            for engine in engines:
-                start = time.perf_counter()
-                converged, balancer, rounds = balanced_fixed_point(
-                    seeded,
-                    overheads=distillation,
-                    engine=engine,
-                    max_rounds=max_rounds,
-                    seed=seed,
-                )
-                elapsed = time.perf_counter() - start
-                fixed_points[engine] = converged.nonzero_pairs()
-                result.rows.append(
-                    ScalingRow(
-                        topology=topology,
-                        n_nodes=size,
-                        actual_nodes=graph.n_nodes,
-                        engine=engine,
-                        ledger_pairs_before=pairs_before,
-                        imbalance_before=imbalance_before,
-                        imbalance_after=count_imbalance(converged),
-                        rounds=rounds,
-                        swaps=balancer.swaps_performed,
-                        seconds=elapsed,
-                    )
-                )
-            if len(fixed_points) > 1:
-                reference = fixed_points[engines[0]]
-                for engine, pairs in fixed_points.items():
-                    if pairs != reference:
-                        raise RuntimeError(
-                            f"balancer engines disagree on ({topology}, |N|={size}): "
-                            f"{engines[0]} vs {engine}"
-                        )
-    return result

@@ -1,0 +1,106 @@
+"""The machine-readable experiment-result schema, and a tiny validator.
+
+Every :meth:`repro.experiments.api.ExperimentResult.to_json` payload
+conforms to :data:`RESULT_SCHEMA` -- a deliberately small JSON-Schema
+subset (``type`` / ``required`` / ``properties`` / ``items`` / ``enum``)
+validated by :func:`validate_payload` without any third-party dependency.
+The canonical copy external consumers should pin lives at
+``docs/schemas/experiment-result.schema.json``; a test asserts the two
+never drift.
+
+Usable as a filter for CI gates::
+
+    python -m repro figure4 --format json --output - \\
+        | python -m repro.experiments.schema -
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.experiments.api import RESULT_SCHEMA_VERSION
+
+#: The JSON schema every result payload must satisfy.
+RESULT_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro experiment result",
+    "description": (
+        "Machine-readable output of one repro experiment: the flat result "
+        "table (columns + rows) and the named figure series, as emitted by "
+        "`repro <experiment> --format json`."
+    ),
+    "type": "object",
+    "required": ["schema_version", "experiment", "columns", "rows", "series"],
+    "properties": {
+        "schema_version": {"type": "integer", "enum": [RESULT_SCHEMA_VERSION]},
+        "experiment": {"type": "string"},
+        "columns": {"type": "array", "items": {"type": "string"}},
+        "rows": {"type": "array", "items": {"type": "array"}},
+        "series": {"type": "object"},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda value: isinstance(value, dict),
+    "array": lambda value: isinstance(value, list),
+    "string": lambda value: isinstance(value, str),
+    "integer": lambda value: isinstance(value, int) and not isinstance(value, bool),
+    "number": lambda value: isinstance(value, (int, float)) and not isinstance(value, bool),
+    "boolean": lambda value: isinstance(value, bool),
+    "null": lambda value: value is None,
+}
+
+
+class SchemaError(ValueError):
+    """A payload violated the result schema (message says where)."""
+
+
+def _check(value: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[name](value) for name in allowed):
+            errors.append(f"{path}: expected type {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    for key in schema.get("required", ()):
+        if key not in value:
+            errors.append(f"{path}: missing required key {key!r}")
+    for key, subschema in schema.get("properties", {}).items():
+        if isinstance(value, dict) and key in value:
+            _check(value[key], subschema, f"{path}.{key}", errors)
+    if "items" in schema and isinstance(value, list):
+        for index, item in enumerate(value):
+            _check(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_payload(payload: Any, schema: Dict[str, Any] = RESULT_SCHEMA) -> None:
+    """Raise :class:`SchemaError` listing every violation (silent on success)."""
+    errors: List[str] = []
+    _check(payload, schema, "$", errors)
+    if errors:
+        raise SchemaError("; ".join(errors))
+
+
+def main(argv=None) -> int:
+    """Validate a JSON result document from a file (or ``-`` for stdin)."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.experiments.schema <result.json | ->", file=sys.stderr)
+        return 2
+    raw = sys.stdin.read() if argv[0] == "-" else open(argv[0], encoding="utf-8").read()
+    try:
+        payload = json.loads(raw)
+        validate_payload(payload)
+    except (json.JSONDecodeError, SchemaError) as error:
+        print(f"result schema violation: {error}", file=sys.stderr)
+        return 1
+    print(f"ok: valid result payload for experiment {payload['experiment']!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.analysis.overhead import swap_overhead_from_result
@@ -66,6 +68,123 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "Scaling" in output
         assert "incremental" in output
+
+
+class TestSubcommandRedesign:
+    """Regression tests for the registry-generated subparser CLI."""
+
+    @pytest.mark.parametrize(
+        "argv, flag",
+        [
+            (["scaling", "--smoke"], "--smoke"),
+            (["lp", "--seeds", "5"], "--seeds"),
+            (["figure5", "--nodes", "9"], "--nodes"),
+            (["classical", "--scenario", "link-churn"], "--scenario"),
+        ],
+    )
+    def test_irrelevant_flag_is_a_hard_error(self, argv, flag, capsys):
+        """The flat-namespace bug: flags from other experiments used to be
+        silently swallowed; now they exit non-zero with a clear error."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code != 0
+        stderr = capsys.readouterr().err
+        assert "unknown flag" in stderr
+        assert flag in stderr
+        assert argv[0] in stderr  # names the experiment the flag is wrong for
+
+    def test_list_prints_registry_summaries(self, capsys):
+        from repro.experiments.registry import iter_experiments
+
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for experiment in iter_experiments():
+            assert experiment.name in output
+            assert experiment.summary in output
+
+    def test_list_combined_with_experiment_exits_zero(self, capsys):
+        assert main(["figure4", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "available experiments" in output
+        assert "figure4" in output
+
+    def test_format_json_emits_valid_payload(self, capsys):
+        from repro.experiments.schema import validate_payload
+
+        assert main(["lp", "--nodes", "9", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_payload(payload)
+        assert payload["experiment"] == "lp"
+
+    def test_format_csv_header_matches_columns(self, capsys):
+        from repro.experiments.classical_overhead import ClassicalOverheadResult
+
+        assert main(["classical", "--nodes", "9", "--format", "csv"]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header == ",".join(ClassicalOverheadResult.COLUMNS)
+
+    def test_output_refuses_overwrite_without_force(self, tmp_path, capsys):
+        target = tmp_path / "lp.json"
+        base = ["lp", "--nodes", "9", "--format", "json", "--output", str(target)]
+        assert main(base) == 0
+        assert json.loads(target.read_text(encoding="utf-8"))["experiment"] == "lp"
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(base)
+        assert excinfo.value.code != 0
+        assert "overwrite" in capsys.readouterr().err
+        assert main(base + ["--force"]) == 0
+
+    def test_bad_scenario_value_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["resilience", "--smoke", "--scenario", "quantum-tornado"])
+        assert excinfo.value.code != 0
+
+    def test_clear_cache_still_works_at_top_level(self, tmp_path, capsys):
+        assert main(["--clear-cache", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "removed 0 cached trial(s)" in capsys.readouterr().out
+
+    def test_no_prefix_abbreviation_of_flags(self, capsys):
+        """--cache before the subcommand must not abbreviation-match
+        --cache-dir and silently swallow the experiment name."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--cache", "figure4"])
+        assert excinfo.value.code != 0
+        assert "--cache" in capsys.readouterr().err
+
+    def test_pre_subcommand_cache_dir_survives(self, tmp_path, monkeypatch):
+        """A --cache-dir given before the subcommand must not be clobbered
+        back to None by the subparser's own default."""
+        from repro.cli import build_parser
+
+        target = tmp_path / "cache"
+        args, extras = build_parser().parse_known_args(
+            ["--cache-dir", str(target), "figure4", "--nodes", "9"]
+        )
+        assert not extras
+        assert args.cache_dir == str(target)
+
+    def test_clear_cache_rejects_non_directory(self, tmp_path, capsys):
+        target = tmp_path / "not-a-dir"
+        target.write_text("hello", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--clear-cache", "--cache-dir", str(target)])
+        assert excinfo.value.code != 0
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_internal_errors_are_not_usage_errors(self, monkeypatch):
+        """Only parameter validation maps to exit-2 usage errors; a failure
+        inside the run itself must traceback (not be swallowed)."""
+        from repro.experiments.registry import get_experiment
+
+        experiment = get_experiment("lp")
+        monkeypatch.setattr(
+            type(experiment), "execute", lambda self, grid, runtime: (_ for _ in ()).throw(
+                ValueError("simulated internal bug")
+            )
+        )
+        with pytest.raises(ValueError, match="simulated internal bug"):
+            main(["lp", "--nodes", "9"])
 
 
 class TestIntegrationPaperWorkload:

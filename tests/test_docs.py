@@ -8,16 +8,20 @@ fails CI instead of misleading readers.
 
 from __future__ import annotations
 
+import argparse
 import importlib
+import json
 import re
 from pathlib import Path
 
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser
+from repro.experiments.registry import experiment_names, iter_experiments
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+CI_WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
 
 #: Inline-code tokens that look like repo-relative paths (files or dirs).
 _PATH_TOKEN = re.compile(r"`([A-Za-z0-9_][A-Za-z0-9_./-]*(?:\.py|\.md|/))`")
@@ -85,29 +89,90 @@ def test_cli_subcommands_shown_are_real():
     assert not undocumented, f"experiments missing from docs: {sorted(undocumented)}"
 
 
-def test_cli_flags_shown_are_real():
-    parser_flags = {
+def _walk_parsers(parser):
+    """The main parser plus every registered experiment subparser."""
+    yield parser
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            seen = set()
+            for subparser in action.choices.values():
+                if id(subparser) not in seen:  # aliases share parser objects
+                    seen.add(id(subparser))
+                    yield subparser
+
+
+def _all_parser_flags():
+    return {
         option
-        for action in build_parser()._actions
+        for parser in _walk_parsers(build_parser())
+        for action in parser._actions
         for option in action.option_strings
+        if option.startswith("--")
     }
+
+
+def test_cli_flags_shown_are_real():
     shown = {flag for flag in _CLI_FLAG.findall(_doc_text()) if flag != "--help"}
-    unknown = shown - parser_flags
+    unknown = shown - _all_parser_flags()
     assert not unknown, f"docs show nonexistent CLI flags: {sorted(unknown)}"
 
 
 def test_every_cli_flag_is_documented():
     """The reverse direction: adding a CLI flag without documenting it
     (in a backticked ``--flag`` token somewhere under README/docs) fails CI."""
-    parser_flags = {
-        option
-        for action in build_parser()._actions
-        for option in action.option_strings
-        if option.startswith("--") and option != "--help"
-    }
+    parser_flags = {flag for flag in _all_parser_flags() if flag != "--help"}
     documented = set(_CLI_FLAG.findall(_doc_text()))
     undocumented = parser_flags - documented
     assert not undocumented, f"CLI flags missing from the docs: {sorted(undocumented)}"
+
+
+@pytest.mark.parametrize("experiment", iter_experiments(), ids=lambda e: e.name)
+def test_every_paramspec_appears_in_help_and_docs(experiment):
+    """Registry gate: each CLI-exposed ParamSpec entry must show up both in
+    the experiment's ``--help`` output and as a documented flag token."""
+    parser = build_parser()
+    subparser = next(
+        action.choices[experiment.name]
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    help_text = subparser.format_help()
+    documented = set(_CLI_FLAG.findall(_doc_text()))
+    for spec in experiment.cli_specs():
+        assert spec.cli_flag in help_text, (
+            f"{experiment.name}: flag {spec.cli_flag} (param {spec.name!r}) "
+            "missing from --help"
+        )
+        assert spec.cli_flag in documented, (
+            f"{experiment.name}: flag {spec.cli_flag} (param {spec.name!r}) "
+            "not documented in README/docs"
+        )
+        assert spec.help, f"{experiment.name}: param {spec.name!r} has no help text"
+
+
+def test_every_experiment_has_a_ci_invocation():
+    """Registry gate: every registered experiment must be exercised by CI
+    with a ``--smoke``-or-small invocation."""
+    text = CI_WORKFLOW.read_text(encoding="utf-8")
+    missing = [
+        name
+        for name in experiment_names()
+        if not re.search(rf"python -m repro {re.escape(name)}\b", text)
+    ]
+    assert not missing, f"experiments without a CI invocation in ci.yml: {missing}"
+
+
+def test_checked_in_result_schema_matches_canonical():
+    """docs/schemas/experiment-result.schema.json is the copy external
+    consumers pin; it must never drift from the validator's schema."""
+    from repro.experiments.schema import RESULT_SCHEMA
+
+    checked_in = json.loads(
+        (REPO_ROOT / "docs" / "schemas" / "experiment-result.schema.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert checked_in == RESULT_SCHEMA
 
 
 def test_readme_quickstart_snippet_runs():
