@@ -22,7 +22,10 @@ One module per experiment of the per-experiment index in DESIGN.md:
 * :mod:`repro.experiments.scaling` -- max-min balancing on 200-1000-node
   Waxman/grid/Erdős–Rényi topologies (naive vs incremental engine),
 * :mod:`repro.experiments.resilience` -- recovery time and fairness under
-  fault-and-churn scenarios (:mod:`repro.scenarios`) vs the static baseline.
+  fault-and-churn scenarios (:mod:`repro.scenarios`) vs the static baseline,
+* :mod:`repro.experiments.traffic` -- protocol comparison under
+  Poisson/bursty/diurnal arrival load with per-class SLO metrics
+  (:mod:`repro.workloads`).
 
 Results satisfy the uniform :class:`~repro.experiments.api.ExperimentResult`
 contract: ``series()`` / ``rows()`` / ``format_report()`` plus the
@@ -73,6 +76,7 @@ from repro.experiments.classical_overhead import (
 )
 from repro.experiments.resilience import ResilienceExperiment, ResilienceResult, run_resilience
 from repro.experiments.scaling import ScalingExperiment, ScalingResult, run_scaling
+from repro.experiments.traffic import TrafficExperiment, TrafficResult, run_traffic
 
 __all__ = [
     "AblationResult",
@@ -96,6 +100,8 @@ __all__ = [
     "RuntimeOptions",
     "ScalingExperiment",
     "ScalingResult",
+    "TrafficExperiment",
+    "TrafficResult",
     "TrialOutcome",
     "experiment_names",
     "full_mode_enabled",
@@ -112,5 +118,6 @@ __all__ = [
     "run_many",
     "run_resilience",
     "run_scaling",
+    "run_traffic",
     "run_trial",
 ]

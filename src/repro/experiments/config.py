@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.network.topology import EdgeKey
 from repro.scenarios.registry import NO_SCENARIO, validate_scenario_spec
+from repro.workloads.registry import DEFAULT_WORKLOAD, validate_workload_spec
 
 
 def full_mode_enabled() -> bool:
@@ -50,6 +51,7 @@ class ExperimentConfig:
     policy: str = "min-recipient"
     balancer: str = "naive"
     scenario: str = NO_SCENARIO
+    workload: str = DEFAULT_WORKLOAD
     policy_max_detour: Optional[int] = None
     qec_overhead: float = 1.0
     loss_factor: float = 1.0
@@ -76,10 +78,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"balancer must be 'naive' or 'incremental', got {self.balancer!r}"
             )
-        # Raises ValueError for unknown names/parameters; the spec enters
+        # Raises ValueError for unknown names/parameters; the specs enter
         # the trial's cache key verbatim via asdict(), so two configs
-        # differing only in scenario never share a cache entry.
+        # differing only in scenario or workload never share a cache entry.
         validate_scenario_spec(self.scenario)
+        validate_workload_spec(self.workload)
 
     def with_(self, **overrides) -> "ExperimentConfig":
         """A copy with some fields replaced (convenience for sweeps)."""
@@ -88,6 +91,8 @@ class ExperimentConfig:
     def label(self) -> str:
         """Short human-readable label for reports."""
         suffix = "" if self.scenario == NO_SCENARIO else f"/{self.scenario}"
+        if self.workload != DEFAULT_WORKLOAD:
+            suffix += f"/{self.workload}"
         return (
             f"{self.protocol}/{self.topology}-{self.n_nodes}"
             f"/D={self.distillation:g}/seed={self.seed}{suffix}"
@@ -117,6 +122,14 @@ class TrialOutcome:
     classical_entries: int
     swaps_by_node: Dict = field(default_factory=dict)
     consumption_by_pair: Dict[EdgeKey, int] = field(default_factory=dict)
+    #: Per-traffic-class SLO attainment rows (timed workloads only; see
+    #: :func:`repro.workloads.slo.slo_summary`), keyed by class name.
+    slo: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: How many consumer pairs the trial actually used (can fall short of
+    #: the configured ``n_consumer_pairs`` on small topologies).
+    effective_consumer_pairs: Optional[int] = None
+    #: Structured workload-generation warnings (consumer-pair shortfalls, ...).
+    workload_warnings: Tuple[str, ...] = ()
 
     @property
     def overhead(self) -> float:

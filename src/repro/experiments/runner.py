@@ -27,7 +27,7 @@ from repro.core.maxmin.policy import (
     RandomPreferablePolicy,
 )
 from repro.experiments.config import ExperimentConfig, TrialOutcome
-from repro.network.demand import RequestSequence, select_consumer_pairs
+from repro.network.demand import RequestSequence
 from repro.network.generation import make_generation_process
 from repro.network.topologies import topology_from_name
 from repro.network.topology import Topology
@@ -40,6 +40,10 @@ from repro.protocols.planned import (
 )
 from repro.scenarios.registry import build_scenario
 from repro.sim.rng import RandomStreams
+from repro.workloads.base import WorkloadBuild
+from repro.workloads.queueing import TimedRequestSequence
+from repro.workloads.registry import build_workload
+from repro.workloads.slo import slo_as_dict, slo_summary
 
 PROTOCOL_NAMES = (
     "path-oblivious",
@@ -62,14 +66,31 @@ def build_topology(config: ExperimentConfig, streams: RandomStreams) -> Topology
     return topology
 
 
+def build_workload_requests(
+    config: ExperimentConfig, topology: Topology, streams: RandomStreams
+) -> WorkloadBuild:
+    """Materialise the config's workload spec for one trial.
+
+    The default ``"sequence"`` spec reproduces the paper's §5 generation
+    bit-identically (same consumer-pair draw, same ordered stream); other
+    specs produce arrival-timed, admission-controlled streams
+    (:mod:`repro.workloads`).
+    """
+    return build_workload(
+        config.workload,
+        topology=topology,
+        n_consumer_pairs=config.n_consumer_pairs,
+        n_requests=config.n_requests,
+        streams=streams,
+    )
+
+
 def build_requests(
     config: ExperimentConfig, topology: Topology, streams: RandomStreams
 ) -> RequestSequence:
-    """Draw the consumer pairs and the ordered request sequence (paper, §5)."""
-    consumer_pairs = select_consumer_pairs(
-        topology, config.n_consumer_pairs, streams.get("consumers")
-    )
-    return RequestSequence.generate(consumer_pairs, config.n_requests, streams.get("requests"))
+    """Draw the config's request stream (paper §5 by default; see
+    :func:`build_workload_requests` for the metadata-carrying variant)."""
+    return build_workload_requests(config, topology, streams).requests
 
 
 def _build_policy(config: ExperimentConfig, topology: Topology) -> Optional[BalancingPolicy]:
@@ -140,7 +161,8 @@ def run_trial(config: ExperimentConfig) -> TrialOutcome:
     """Run one full trial and reduce it to a :class:`TrialOutcome`."""
     streams = RandomStreams(config.seed)
     topology = build_topology(config, streams)
-    requests = build_requests(config, topology, streams)
+    workload = build_workload_requests(config, topology, streams)
+    requests = workload.requests
     protocol = build_protocol(config, topology, requests, streams)
     result = protocol.run()
 
@@ -152,6 +174,9 @@ def run_trial(config: ExperimentConfig) -> TrialOutcome:
     )
     starvation = starvation_report(topology, result)
     classical = result.classical_overhead or {}
+    slo = {}
+    if isinstance(requests, TimedRequestSequence):
+        slo = slo_as_dict(slo_summary(requests.requests(), horizon=result.rounds))
 
     return TrialOutcome(
         config=config,
@@ -173,6 +198,9 @@ def run_trial(config: ExperimentConfig) -> TrialOutcome:
         classical_entries=int(classical.get("entries", 0)),
         swaps_by_node=result.swaps_by_node,
         consumption_by_pair=protocol.requests.consumption_counts(),
+        slo=slo,
+        effective_consumer_pairs=len(workload.consumer_pairs),
+        workload_warnings=workload.warnings,
     )
 
 

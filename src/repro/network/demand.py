@@ -18,6 +18,7 @@ This module provides
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -26,6 +27,24 @@ import numpy as np
 from repro.network.topology import EdgeKey, Topology, edge_key
 
 NodeId = Hashable
+
+
+class ConsumerPairShortfallWarning(UserWarning):
+    """The candidate set was smaller than the requested number of pairs.
+
+    Carries the structured counts so harnesses can record them in result
+    metadata instead of re-parsing the message.
+    """
+
+    def __init__(self, requested: int, available: int, topology_name: str = ""):
+        self.requested = int(requested)
+        self.available = int(available)
+        self.topology_name = topology_name
+        super().__init__(
+            f"requested {requested} consumer pairs but only {available} candidate "
+            f"pair(s) exist{f' on {topology_name}' if topology_name else ''}; "
+            f"using all {available}"
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -46,8 +65,11 @@ def select_consumer_pairs(
     n_pairs:
         How many distinct pairs to draw (35 in the paper).  When the
         candidate set is smaller than ``n_pairs``, every candidate pair is
-        returned (a warning-free fallback needed for the smallest |N|
-        sweeps).
+        returned and a structured :class:`ConsumerPairShortfallWarning` is
+        emitted (the smallest |N| sweeps need the fallback, but a silently
+        shrunken workload would skew cross-size comparisons unnoticed);
+        experiment harnesses additionally record the effective pair count
+        in the trial metadata.
     rng:
         Seeded random stream.
     exclude_generation_edges:
@@ -63,6 +85,11 @@ def select_consumer_pairs(
     if not candidates:
         raise ValueError("no candidate consumer pairs available")
     if n_pairs >= len(candidates):
+        if n_pairs > len(candidates):
+            warnings.warn(
+                ConsumerPairShortfallWarning(n_pairs, len(candidates), topology.name),
+                stacklevel=2,
+            )
         return list(candidates)
     indices = rng.choice(len(candidates), size=n_pairs, replace=False)
     return [candidates[int(index)] for index in indices]
@@ -168,6 +195,18 @@ class RequestSequence:
         head = self.head()
         if head is not None and head.issued_round is None:
             head.issued_round = round_index
+
+    def pending_requests(self) -> List[ConsumptionRequest]:
+        """Every currently eligible unserved request, head first.
+
+        For the paper's ordered sequence this is simply the tail from the
+        head onward; timed sequences (:class:`repro.workloads.queueing.
+        TimedRequestSequence`) override it to expose only released, admitted
+        requests in queue-policy order.  Windowed protocols use this instead
+        of peeking at the raw request list so they never touch a request
+        before it arrives.
+        """
+        return list(self._requests[self._next_index :])
 
     # ------------------------------------------------------------------ #
     # Dynamic workloads (scenario layer)

@@ -186,7 +186,10 @@ class SwappingProtocol(abc.ABC):
         while True:
             head = self.requests.head()
             if head is None:
-                return True
+                # For the paper's ordered sequence an empty head means done;
+                # a timed sequence may merely be idle between arrivals, so
+                # only a fully drained stream may request the stop.
+                return True if self.requests.all_satisfied else None
             self.requests.note_head_issued(round_index)
             if self.consumptions_per_round is not None and served >= self.consumptions_per_round:
                 return None
@@ -207,6 +210,13 @@ class SwappingProtocol(abc.ABC):
         simulator = RoundBasedSimulator(
             max_rounds=self.max_rounds, metrics=self.metrics, trace=self.trace
         )
+        # Timed workloads release arrivals (through admission control) at
+        # the very start of each round -- before scenario perturbations and
+        # generation -- mirroring the discrete-event engine's ordering of
+        # REQUEST_ARRIVAL events at the same instant.
+        release = getattr(self.requests, "on_round", None)
+        if release is not None:
+            simulator.add_hook(RoundPhase.GENERATION, release)
         if self.scenario is not None:
             context = ScenarioContext(
                 topology=self.topology,

@@ -172,6 +172,10 @@ class EntityLevelSimulation:
 
         self.engine.register(EventType.GENERATION, self._on_generation)
         self.engine.register(EventType.TIMER, self._on_timer)
+        if hasattr(requests, "release_until"):
+            # Timed workloads (repro.workloads): arrivals enter through
+            # REQUEST_ARRIVAL events and per-node admission control.
+            self.engine.register(EventType.REQUEST_ARRIVAL, self._on_request_arrival)
 
         self.scenario = scenario
         self._scenario_context: Optional[ScenarioContext] = None
@@ -311,8 +315,22 @@ class EntityLevelSimulation:
         if not self.requests.all_satisfied and now + self.generation_interval <= self.max_time:
             self.engine.schedule(self.generation_interval, EventType.GENERATION)
 
+    def _on_request_arrival(self, event: SimEvent) -> None:
+        """Release every workload arrival due by the event's time.
+
+        Admission charges tokens at each request's own arrival round, so
+        the admit/reject outcomes are identical to the round-based driver's
+        under the same seed and workload spec.
+        """
+        self.requests.release_until(event.time)
+
     def _on_timer(self, event: SimEvent) -> None:
         now = event.time
+        release = getattr(self.requests, "release_until", None)
+        if release is not None:
+            # Keeps deadline-aware drops on the balancing cadence even when
+            # no arrival event happens to land on this instant.
+            release(now)
         self._expire_stale_pairs(now)
         self._balancing_round(now)
         self._serve_requests(now)
@@ -366,24 +384,40 @@ class EntityLevelSimulation:
             self._store_pair(outcome.produced, now)
 
     def _serve_requests(self, now: float) -> None:
+        # Timed workloads measure latency against arrival *rounds*, which the
+        # engine schedules as absolute times -- so their issue/satisfaction
+        # stamps must use the engine clock.  (self.rounds lags it by one:
+        # the timer at t=r runs before rounds increments.)  Plain sequences
+        # keep the historical round-counter stamps.
+        timed = hasattr(self.requests, "release_until")
+        stamp = now if timed else self.rounds
         while True:
             head = self.requests.head()
             if head is None:
                 return
-            self.requests.note_head_issued(self.rounds)
+            self.requests.note_head_issued(stamp)
             node_a, node_b = head.pair
-            candidate = self._best_pair_between(node_a, node_b, now)
+            # SLO classes raise the bar: a premium request is only served by
+            # a pair meeting its class's delivered-fidelity floor.
+            floor = max(self.fidelity_threshold, getattr(head, "fidelity_floor", 0.0))
+            candidate = self._best_pair_between(node_a, node_b, now, threshold=floor)
             if candidate is None:
                 return
             fidelity_now = self._current_fidelity(candidate, now)
             self._remove_pair(candidate)
             self.delivered_fidelities.append(teleportation_fidelity(max(fidelity_now, 0.25)))
-            self.requests.mark_head_satisfied(self.rounds)
+            self.requests.mark_head_satisfied(stamp)
 
-    def _best_pair_between(self, node_a: NodeId, node_b: NodeId, now: float) -> Optional[BellPair]:
+    def _best_pair_between(
+        self,
+        node_a: NodeId,
+        node_b: NodeId,
+        now: float,
+        threshold: Optional[float] = None,
+    ) -> Optional[BellPair]:
         """The freshest pair between the endpoints meeting the fidelity threshold."""
         best: Optional[BellPair] = None
-        best_fidelity = self.fidelity_threshold
+        best_fidelity = self.fidelity_threshold if threshold is None else threshold
         for pair in self.nodes[node_a].memory.pairs_with(node_b):
             fidelity_now = self._current_fidelity(pair, now)
             if fidelity_now >= best_fidelity:
@@ -398,6 +432,16 @@ class EntityLevelSimulation:
         """Run until the request sequence completes or ``max_time`` is reached."""
         self.engine.schedule(0.0, EventType.GENERATION)
         self.engine.schedule(self.balancing_interval, EventType.TIMER, payload={"name": "round"})
+        arrival_times = getattr(self.requests, "arrival_times", None)
+        if arrival_times is not None:
+            # Priority -2: arrivals at time t land before scenario
+            # perturbations (-1) and the generation/balancing events (0) of
+            # the same instant, matching the round driver's hook order.
+            for time in arrival_times():
+                if time <= self.max_time:
+                    self.engine.schedule_at(
+                        float(time), EventType.REQUEST_ARRIVAL, priority=-2
+                    )
         if self.scenario is not None:
             # Negative priority: a perturbation due at time t lands before
             # the generation/balancing events of the same instant.

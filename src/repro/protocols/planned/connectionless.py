@@ -80,14 +80,19 @@ class ConnectionlessProtocol(SwappingProtocol):
     # Phases
     # ------------------------------------------------------------------ #
     def _active_window(self) -> List[ConsumptionRequest]:
-        """The head request plus the next ``window - 1`` not-yet-completed requests."""
-        head = self.requests.head()
-        if head is None:
-            return []
+        """The head request plus the next ``window - 1`` not-yet-completed requests.
+
+        Built from :meth:`~repro.network.demand.RequestSequence.
+        pending_requests` so only *eligible* requests compete: for the
+        paper's ordered sequence that is the tail from the head onward
+        (unchanged behaviour); for timed sequences it is the released,
+        admitted queue in policy order -- a request never races for pairs
+        before it has arrived.
+        """
         pending = [
             request
-            for request in self.requests.requests()
-            if request.index >= head.index and request.index not in self._completed_early
+            for request in self.requests.pending_requests()
+            if request.index not in self._completed_early
         ]
         return pending[: self.window]
 

@@ -132,6 +132,23 @@ class Histogram:
         weight = position - low
         return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
+    #: Quantiles every report quotes (p50/p95/p99); see :meth:`percentiles`.
+    REPORT_QUANTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+    def percentiles(self, quantiles: Optional[Iterable[float]] = None) -> Dict[str, float]:
+        """The named report quantiles, e.g. ``{"p50": ..., "p95": ..., "p99": ...}``.
+
+        ``quantiles`` overrides the default :data:`REPORT_QUANTILES`; keys
+        are rendered as ``p<percent>`` with trailing zeros trimmed
+        (``0.999`` becomes ``p99.9``).
+        """
+        chosen = self.REPORT_QUANTILES if quantiles is None else tuple(quantiles)
+        labelled: Dict[str, float] = {}
+        for q in chosen:
+            label = f"{q * 100:g}"
+            labelled[f"p{label}"] = self.quantile(q)
+        return labelled
+
     def reset(self) -> None:
         self._samples.clear()
 
@@ -207,6 +224,8 @@ class MetricRegistry:
         for name, histogram in self._histograms.items():
             snapshot[f"histogram.{name}.count"] = float(histogram.count)
             snapshot[f"histogram.{name}.mean"] = histogram.mean()
+            for label, value in histogram.percentiles().items():
+                snapshot[f"histogram.{name}.{label}"] = value
         return snapshot
 
     def reset(self) -> None:

@@ -150,6 +150,46 @@ def test_every_paramspec_appears_in_help_and_docs(experiment):
         assert spec.help, f"{experiment.name}: param {spec.name!r} has no help text"
 
 
+def test_every_workload_is_documented():
+    """Registry gate: every workload of the spec mini-language must appear in
+    the docs as a backticked token (bare or with parameters), and every
+    parameter a workload accepts must be shown as a `key=...` token."""
+    from repro.workloads.registry import WORKLOAD_NAMES, WORKLOAD_PARAMS
+
+    text = _doc_text()
+    documented_names = set(re.findall(r"`([a-z]+)[:`]", text))
+    missing = [name for name in WORKLOAD_NAMES if name not in documented_names]
+    assert not missing, f"workloads missing from the docs: {missing}"
+
+    documented_params = set(re.findall(r"`([a-z_]+)=", text))
+    undocumented = sorted(
+        {
+            param
+            for name in WORKLOAD_NAMES
+            for param in WORKLOAD_PARAMS[name]
+            if param not in documented_params
+        }
+    )
+    assert not undocumented, f"workload parameters missing from the docs: {undocumented}"
+
+
+def test_every_queue_policy_and_class_is_documented():
+    """The queueing policies and traffic classes a spec can name are part of
+    the mini-language surface; the docs must list them all."""
+    from repro.workloads.base import CLASS_MIXES, TRAFFIC_CLASSES
+    from repro.workloads.queueing import QUEUE_POLICIES
+
+    text = _doc_text()
+    tokens = set(re.findall(r"`([a-z-]+)`", text))
+    for collection, kind in (
+        (QUEUE_POLICIES, "queue policy"),
+        (TRAFFIC_CLASSES, "traffic class"),
+        (CLASS_MIXES, "class mix"),
+    ):
+        missing = [name for name in collection if name not in tokens]
+        assert not missing, f"{kind} names missing from the docs: {missing}"
+
+
 def test_every_experiment_has_a_ci_invocation():
     """Registry gate: every registered experiment must be exercised by CI
     with a ``--smoke``-or-small invocation."""

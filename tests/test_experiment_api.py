@@ -46,6 +46,7 @@ SMALL_PARAMS = {
     "classical": dict(topology_name="cycle", n_nodes=9, rounds=8, gossip_fanouts=(2,)),
     "scaling": dict(sizes=(36,), engines=("incremental",), topologies=("grid",)),
     "resilience": dict(smoke=True, n_requests=10, balancers=("naive",)),
+    "traffic": dict(smoke=True, n_requests=10),
 }
 
 
@@ -55,7 +56,7 @@ def small_results():
 
 
 class TestRegistry:
-    def test_all_eight_experiments_registered(self):
+    def test_all_nine_experiments_registered(self):
         assert experiment_names() == (
             "ablations",
             "classical",
@@ -65,6 +66,7 @@ class TestRegistry:
             "lp",
             "resilience",
             "scaling",
+            "traffic",
         )
 
     def test_every_small_param_set_has_an_experiment(self):

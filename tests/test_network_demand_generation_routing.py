@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.network.demand import (
+    ConsumerPairShortfallWarning,
     ConsumptionRequest,
     DemandMatrix,
     RequestSequence,
@@ -41,8 +44,42 @@ class TestSelectConsumerPairs:
         assert len(set(pairs)) == 5
 
     def test_all_pairs_when_too_many_requested(self, small_cycle, rng):
-        pairs = select_consumer_pairs(small_cycle, 1000, rng)
+        with pytest.warns(ConsumerPairShortfallWarning) as caught:
+            pairs = select_consumer_pairs(small_cycle, 1000, rng)
         assert len(pairs) == 15
+        warning = caught[0].message
+        assert warning.requested == 1000
+        assert warning.available == 15
+
+    def test_exact_candidate_count_does_not_warn(self, small_cycle, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConsumerPairShortfallWarning)
+            pairs = select_consumer_pairs(small_cycle, 15, rng)
+        assert len(pairs) == 15
+
+    def test_shortfall_recorded_in_trial_metadata(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_trial
+
+        config = ExperimentConfig(
+            topology="cycle", n_nodes=5, n_requests=6, n_consumer_pairs=35, seed=1
+        )
+        with pytest.warns(ConsumerPairShortfallWarning):
+            outcome = run_trial(config)
+        assert outcome.effective_consumer_pairs == 10  # C(5, 2)
+        assert len(outcome.workload_warnings) == 1
+        assert "10" in outcome.workload_warnings[0]
+
+    def test_full_draw_records_effective_pairs_without_warnings(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_trial
+
+        config = ExperimentConfig(
+            topology="cycle", n_nodes=9, n_requests=6, n_consumer_pairs=5, seed=1
+        )
+        outcome = run_trial(config)
+        assert outcome.effective_consumer_pairs == 5
+        assert outcome.workload_warnings == ()
 
     def test_exclude_generation_edges(self, small_cycle, rng):
         pairs = select_consumer_pairs(small_cycle, 5, rng, exclude_generation_edges=True)
@@ -114,6 +151,88 @@ class TestRequestSequence:
             RequestSequence.generate([], 5, rng)
         with pytest.raises(ValueError):
             RequestSequence.generate([(0, 1)], 0, rng)
+
+
+class TestRequestSequenceHeadOfLineEdgeCases:
+    """Head-of-line blocking at the boundaries of the request stream."""
+
+    def test_empty_sequence_is_immediately_done(self):
+        sequence = RequestSequence([])
+        assert sequence.head() is None
+        assert sequence.all_satisfied
+        assert sequence.satisfied_count == 0
+        assert sequence.pending_count == 0
+        assert sequence.pending_requests() == []
+        assert sequence.consumption_counts() == {}
+        with pytest.raises(IndexError):
+            sequence.mark_head_satisfied(0)
+
+    def test_single_pair_head_cycles_through_every_request(self):
+        sequence = RequestSequence.round_robin([(0, 1)], 3)
+        served = []
+        while not sequence.all_satisfied:
+            head = sequence.head()
+            sequence.note_head_issued(head.index)
+            served.append(sequence.mark_head_satisfied(head.index + 1).index)
+        assert served == [0, 1, 2]
+        assert sequence.consumption_counts() == {(0, 1): 3}
+        assert all(request.waiting_rounds == 1 for request in sequence.satisfied_requests())
+
+    def test_all_requests_to_one_pair_block_behind_the_head(self):
+        # Every request targets the same pair: until the head is served no
+        # later request may advance, and pending_requests() keeps them in
+        # strict index order.
+        sequence = RequestSequence([ConsumptionRequest(index=i, pair=(2, 5)) for i in range(4)])
+        assert [request.index for request in sequence.pending_requests()] == [0, 1, 2, 3]
+        assert sequence.head().index == 0
+        sequence.mark_head_satisfied(0)
+        assert sequence.head().index == 1
+        assert [request.index for request in sequence.pending_requests()] == [1, 2, 3]
+        assert sequence.satisfied_count == 1
+        assert not sequence.all_satisfied
+
+    def test_note_head_issued_on_exhausted_sequence_is_a_noop(self):
+        sequence = RequestSequence.round_robin([(0, 1)], 1)
+        sequence.mark_head_satisfied(0)
+        sequence.note_head_issued(5)  # must not raise nor resurrect the head
+        assert sequence.head() is None
+
+    def test_head_of_line_survives_node_churn_ledger_invalidation(self):
+        """The ordered stream must stay consistent when a node-churn scenario
+        wipes ledger state mid-run: satisfied indices stay a prefix, and the
+        satisfied rounds are non-decreasing along the sequence order."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_trial
+
+        config = ExperimentConfig(
+            topology="cycle",
+            n_nodes=9,
+            n_requests=12,
+            n_consumer_pairs=5,
+            seed=3,
+            scenario="node-churn:start=2,period=6,downtime=3,count=2",
+            max_rounds=5000,
+        )
+        outcome = run_trial(config)
+        assert outcome.requests_satisfied == outcome.requests_total
+        # Re-run with direct access to the sequence to check the per-request
+        # satisfaction order.
+        from repro.experiments.runner import (
+            build_protocol,
+            build_topology,
+            build_workload_requests,
+        )
+        from repro.sim.rng import RandomStreams
+
+        streams = RandomStreams(config.seed)
+        topology = build_topology(config, streams)
+        workload = build_workload_requests(config, topology, streams)
+        protocol = build_protocol(config, topology, workload.requests, streams)
+        protocol.run()
+        satisfied = workload.requests.satisfied_requests()
+        assert [request.index for request in satisfied] == list(range(len(satisfied)))
+        rounds = [request.satisfied_round for request in satisfied]
+        assert rounds == sorted(rounds)
 
 
 class TestDemandMatrix:

@@ -73,6 +73,31 @@ class TestHistogram:
         assert histogram.minimum() == 1.0
         assert histogram.maximum() == 5.0
 
+    def test_percentiles_default_labels(self):
+        histogram = Histogram("latency")
+        histogram.observe_many(range(101))  # 0..100: pX == X exactly
+        percentiles = histogram.percentiles()
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        assert percentiles["p50"] == pytest.approx(50.0)
+        assert percentiles["p95"] == pytest.approx(95.0)
+        assert percentiles["p99"] == pytest.approx(99.0)
+
+    def test_percentiles_custom_quantiles(self):
+        histogram = Histogram("latency")
+        histogram.observe_many(range(1001))
+        percentiles = histogram.percentiles((0.25, 0.999))
+        assert percentiles["p25"] == pytest.approx(250.0)
+        assert percentiles["p99.9"] == pytest.approx(999.0)
+
+    def test_percentiles_empty_are_nan(self):
+        percentiles = Histogram("latency").percentiles()
+        assert all(math.isnan(value) for value in percentiles.values())
+
+    def test_single_sample_percentiles(self):
+        histogram = Histogram("latency")
+        histogram.observe(7.0)
+        assert histogram.percentiles() == {"p50": 7.0, "p95": 7.0, "p99": 7.0}
+
 
 class TestTimeSeries:
     def test_record_and_access(self):
@@ -105,6 +130,8 @@ class TestMetricRegistry:
         assert snapshot["counter.swaps"] == 2
         assert snapshot["gauge.pairs"] == 5
         assert snapshot["histogram.wait.count"] == 1
+        assert snapshot["histogram.wait.p50"] == pytest.approx(3.0)
+        assert snapshot["histogram.wait.p99"] == pytest.approx(3.0)
 
     def test_reset_clears_everything(self):
         registry = MetricRegistry()
