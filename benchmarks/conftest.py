@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.perf.timing import median_of_k
+
 
 def pytest_configure(config):
     config.addinivalue_line(
@@ -21,3 +23,22 @@ def pytest_configure(config):
 def quick_requests() -> int:
     """Request-sequence length used by the quick benchmark sweeps."""
     return 40
+
+
+@pytest.fixture
+def median_time():
+    """Warmup-then-median wall timing (seconds per call).
+
+    The speedup assertions in this suite used to time best-of-N cold calls,
+    which let a one-off allocator or cache hiccup on either side flip a
+    ratio across its threshold.  Discarding ``warmup`` untimed calls and
+    reporting the median of ``repeats`` timed ones is robust against both
+    first-call effects and single outliers; ``repro bench`` records the
+    checked-in trajectory with the same estimator
+    (:func:`repro.perf.timing.median_of_k`).
+    """
+
+    def _time(call, repeats: int = 5, warmup: int = 1) -> float:
+        return median_of_k(call, repeats=repeats, warmup=warmup)
+
+    return _time

@@ -8,8 +8,6 @@ a legacy ``run_*`` wrapper directly; this suite holds that overhead under
 
 from __future__ import annotations
 
-import time
-
 from repro.cli import build_parser
 from repro.experiments.registry import experiment_names, get_experiment
 
@@ -17,17 +15,7 @@ from repro.experiments.registry import experiment_names, get_experiment
 DISPATCH_BUDGET = 0.005
 
 
-def _best_of(repeats: int, func) -> float:
-    """Best-of-N wall-clock of ``func`` (best-of filters scheduler noise)."""
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def test_registry_dispatch_plus_subparser_construction_under_budget():
+def test_registry_dispatch_plus_subparser_construction_under_budget(median_time):
     """Looking an experiment up and building the full subcommand parser --
     the work `repro figure4 ...` adds over calling run_figure4 directly --
     stays under 5 ms."""
@@ -38,10 +26,10 @@ def test_registry_dispatch_plus_subparser_construction_under_budget():
         parser.parse_args(["figure4", "--nodes", "9"])
         get_experiment("figure4")
 
-    assert _best_of(20, dispatch) < DISPATCH_BUDGET
+    assert median_time(dispatch, repeats=20) < DISPATCH_BUDGET
 
 
-def test_param_resolution_overhead_under_budget():
+def test_param_resolution_overhead_under_budget(median_time):
     """Resolving and normalising a full ParamSpec table for every
     registered experiment (the Experiment.run preamble the legacy wrappers
     skip straight past) is well under the 5 ms budget."""
@@ -51,12 +39,12 @@ def test_param_resolution_overhead_under_budget():
             experiment = get_experiment(name)
             experiment.normalize(experiment.resolve_params({}))
 
-    assert _best_of(20, resolve_all) < DISPATCH_BUDGET
+    assert median_time(resolve_all, repeats=20) < DISPATCH_BUDGET
 
 
-def test_registry_lookup_is_constant_time_cheap():
+def test_registry_lookup_is_constant_time_cheap(median_time):
     def lookup_all():
         for name in experiment_names():
             get_experiment(name)
 
-    assert _best_of(20, lookup_all) < DISPATCH_BUDGET
+    assert median_time(lookup_all, repeats=20) < DISPATCH_BUDGET

@@ -12,7 +12,6 @@ Two claims are kept honest here:
 from __future__ import annotations
 
 import time
-import timeit
 
 import numpy as np
 import pytest
@@ -36,21 +35,16 @@ def fidelity_batch():
     return rng.uniform(0.25, 1.0, BATCH_SIZE), rng.uniform(0.25, 1.0, BATCH_SIZE)
 
 
-def _best_of(function, repeats: int = 5, number: int = 3) -> float:
-    """Best-of-N timing (seconds per call), immune to one-off scheduler noise."""
-    return min(timeit.repeat(function, repeat=repeats, number=number)) / number
-
-
-def test_vectorized_swap_beats_scalar_loop(benchmark, fidelity_batch):
+def test_vectorized_swap_beats_scalar_loop(benchmark, fidelity_batch, median_time):
     """Swap composition over a 4096-pair batch: array op vs Python loop."""
     a, b = fidelity_batch
 
     batch_result = benchmark.pedantic(
         lambda: swap_fidelity_batch(a, b), rounds=20, iterations=5
     )
-    batch_seconds = _best_of(lambda: swap_fidelity_batch(a, b))
-    scalar_seconds = _best_of(
-        lambda: [swap_fidelity(x, y) for x, y in zip(a, b)], repeats=3, number=1
+    batch_seconds = median_time(lambda: swap_fidelity_batch(a, b))
+    scalar_seconds = median_time(
+        lambda: [swap_fidelity(x, y) for x, y in zip(a, b)], repeats=3
     )
     scalar_result = np.array([swap_fidelity(x, y) for x, y in zip(a, b)])
 
@@ -61,16 +55,15 @@ def test_vectorized_swap_beats_scalar_loop(benchmark, fidelity_batch):
     assert speedup > 5, f"vectorized path only {speedup:.1f}x faster"
 
 
-def test_vectorized_decoherence_beats_scalar_loop(fidelity_batch):
+def test_vectorized_decoherence_beats_scalar_loop(fidelity_batch, median_time):
     """Memory-decay evolution over the batch: array op vs Python loop."""
     fidelities, _ = fidelity_batch
     elapsed = np.linspace(0.0, 5.0, BATCH_SIZE)
 
-    batch_seconds = _best_of(lambda: decohered_fidelity_batch(fidelities, elapsed, 10.0))
-    scalar_seconds = _best_of(
+    batch_seconds = median_time(lambda: decohered_fidelity_batch(fidelities, elapsed, 10.0))
+    scalar_seconds = median_time(
         lambda: [decohered_fidelity(f, t, 10.0) for f, t in zip(fidelities, elapsed)],
         repeats=3,
-        number=1,
     )
     speedup = scalar_seconds / batch_seconds
     print(f"\ndecohered_fidelity x{BATCH_SIZE}: scalar {scalar_seconds*1e3:.2f} ms, "
@@ -78,14 +71,14 @@ def test_vectorized_decoherence_beats_scalar_loop(fidelity_batch):
     assert speedup > 5, f"vectorized path only {speedup:.1f}x faster"
 
 
-def test_vectorized_chained_swap_beats_scalar_loop():
+def test_vectorized_chained_swap_beats_scalar_loop(median_time):
     """End-to-end fidelity of 2048 five-hop chains at once."""
     rng = np.random.default_rng(13)
     chains = rng.uniform(0.7, 1.0, (2048, 5))
 
-    batch_seconds = _best_of(lambda: chained_swap_fidelity_batch(chains))
-    scalar_seconds = _best_of(
-        lambda: [chained_swap_fidelity(chain) for chain in chains], repeats=3, number=1
+    batch_seconds = median_time(lambda: chained_swap_fidelity_batch(chains))
+    scalar_seconds = median_time(
+        lambda: [chained_swap_fidelity(chain) for chain in chains], repeats=3
     )
     speedup = scalar_seconds / batch_seconds
     print(f"\nchained_swap x2048x5: scalar {scalar_seconds*1e3:.2f} ms, "

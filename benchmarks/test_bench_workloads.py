@@ -14,8 +14,6 @@ modulated and Pareto-batch paths are asserted bit-identical alongside.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.workloads.arrivals import (
@@ -34,24 +32,17 @@ RATE = 1.0
 HORIZON = 100_000
 
 
-def _best_of(repeats, call):
-    timings = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        call()
-        timings.append(time.perf_counter() - start)
-    return min(timings)
-
-
-def test_vectorized_poisson_sampling_10x_at_1e5_requests():
+def test_vectorized_poisson_sampling_10x_at_1e5_requests(median_time):
     """Acceptance criterion: >= 10x over the scalar loop, bit-identical."""
     vectorized = poisson_counts(RATE, HORIZON, np.random.default_rng(42))
     scalar = poisson_counts_scalar(RATE, HORIZON, np.random.default_rng(42))
     assert np.array_equal(vectorized, scalar)
     assert int(vectorized.sum()) >= 90_000  # the 1e5-request scale is real
 
-    fast = _best_of(3, lambda: poisson_counts(RATE, HORIZON, np.random.default_rng(42)))
-    slow = _best_of(3, lambda: poisson_counts_scalar(RATE, HORIZON, np.random.default_rng(42)))
+    fast = median_time(lambda: poisson_counts(RATE, HORIZON, np.random.default_rng(42)), repeats=3)
+    slow = median_time(
+        lambda: poisson_counts_scalar(RATE, HORIZON, np.random.default_rng(42)), repeats=3
+    )
     speedup = slow / fast
     print(
         f"\npoisson arrivals at {HORIZON} rounds: scalar {slow * 1e3:.1f} ms, "
@@ -74,10 +65,10 @@ def test_modulated_and_batch_paths_bit_identical():
     )
 
 
-def test_counts_to_rounds_scales():
+def test_counts_to_rounds_scales(median_time):
     """Flattening 10^5 arrivals is a single np.repeat, not a Python loop."""
     counts = poisson_counts(RATE, HORIZON, np.random.default_rng(1))
-    elapsed = _best_of(3, lambda: counts_to_rounds(counts))
+    elapsed = median_time(lambda: counts_to_rounds(counts), repeats=3)
     rounds = counts_to_rounds(counts)
     assert len(rounds) == int(counts.sum())
     assert elapsed < 0.05, f"counts_to_rounds took {elapsed:.3f}s at 1e5 scale"

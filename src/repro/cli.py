@@ -23,9 +23,10 @@ both leave the reported numbers bit-identical.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.api import RESULT_FORMATS, Experiment, RuntimeOptions
 from repro.experiments.registry import get_experiment, iter_experiments
@@ -36,6 +37,10 @@ from repro.runtime import ResultCache
 EXPERIMENTS: Dict[str, Experiment] = {
     experiment.name: experiment for experiment in iter_experiments()
 }
+
+#: Tool subcommands that are not experiments: the profiling harness and the
+#: benchmark-trajectory emitter (see :mod:`repro.perf`).
+TOOL_COMMANDS = ("profile", "bench")
 
 
 def _positive_int(value: str) -> int:
@@ -96,6 +101,84 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_payload_output_flags(parser: argparse.ArgumentParser) -> None:
+    """Output surface for the tool subcommands (JSON payloads, not results)."""
+    group = parser.add_argument_group("output options")
+    group.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout rendering: human-readable text report or the raw JSON payload",
+    )
+    group.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the JSON payload to FILE ('-' keeps stdout; the text "
+        "report still prints)",
+    )
+    group.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the --output file if it already exists",
+    )
+
+
+def _add_tool_subcommands(subparsers) -> None:
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a registered experiment under cProfile and report hotspots",
+        description="Run a registered experiment under cProfile; the report "
+        "aggregates cumulative time per function and per repro module and is "
+        "validated against repro/perf schema 'profile' before delivery.",
+        allow_abbrev=False,
+    )
+    profile.add_argument("target", metavar="experiment", help="registered experiment to profile")
+    profile.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the run to CI-sized smoke parameters (seconds, not minutes)",
+    )
+    profile.add_argument(
+        "--top",
+        type=_positive_int,
+        default=25,
+        metavar="N",
+        help="how many hotspot functions to keep in the report (default: 25)",
+    )
+    _add_payload_output_flags(profile)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="emit the benchmark trajectory (median-of-k wall times, BENCH_6.json)",
+        description="Re-run the benchmarks/ workloads deterministically and emit "
+        "the BENCH trajectory document: per-benchmark median-of-k wall times, "
+        "kernel speedups vs the pure-Python references, machine fingerprint and "
+        "git revision.",
+        allow_abbrev=False,
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized inputs (the checked-in BENCH_6.json uses full sizes)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=_positive_int,
+        default=5,
+        metavar="K",
+        help="timed repetitions per benchmark; the median is reported (default: 5)",
+    )
+    bench.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="W",
+        help="untimed warmup calls before the repetitions (default: 1)",
+    )
+    _add_payload_output_flags(bench)
+
+
 def build_parser() -> argparse.ArgumentParser:
     # allow_abbrev=False everywhere: prefix matching would let a misplaced
     # flag (e.g. `repro --cache figure4`) silently rewrite itself into a
@@ -138,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--list", dest="sub_list", action="store_true", help=argparse.SUPPRESS
         )
+    _add_tool_subcommands(subparsers)
     return parser
 
 
@@ -168,6 +252,49 @@ def _deliver(result, args: argparse.Namespace, parser: argparse.ArgumentParser) 
     print(f"wrote {args.format} result to {target}")
 
 
+def _deliver_payload(
+    payload: Dict[str, Any],
+    text: str,
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+) -> None:
+    """Print the chosen rendering; optionally persist the JSON payload."""
+    if args.output not in (None, "-"):
+        target = Path(args.output)
+        if target.exists() and not args.force:
+            parser.error(f"--output: {target} already exists (pass --force to overwrite)")
+        target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote json payload to {target}")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
+def _run_tool(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Dispatch the non-experiment tool subcommands (``profile``, ``bench``)."""
+    # Imported on demand: the tools pull in the experiment registry and the
+    # benchmark workloads, which plain experiment runs never need.
+    if args.experiment == "profile":
+        from repro.perf import profiler
+
+        if args.target not in EXPERIMENTS:
+            parser.error(
+                f"profile: unknown experiment {args.target!r} "
+                f"(run 'repro --list' to see the registered experiments)"
+            )
+        report = profiler.profile_experiment(args.target, smoke=args.smoke, top=args.top)
+        _deliver_payload(report, profiler.format_report(report), args, parser)
+        return 0
+    from repro.perf import bench
+
+    if args.warmup < 0:
+        parser.error(f"--warmup: must be >= 0, got {args.warmup}")
+    payload = bench.run_bench(repeats=args.repeats, warmup=args.warmup, quick=args.quick)
+    _deliver_payload(payload, bench.format_report(payload), args, parser)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args, extras = parser.parse_known_args(argv)
@@ -188,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list or getattr(args, "sub_list", False) or args.experiment is None:
         _print_listing()
         return 0
+    if args.experiment in TOOL_COMMANDS:
+        return _run_tool(args, parser)
 
     experiment = get_experiment(args.experiment)
     params = {spec.name: getattr(args, spec.dest) for spec in experiment.cli_specs()}

@@ -44,6 +44,7 @@ from repro.core.maxmin.balancer import MaxMinBalancer, SwapRecord
 from repro.core.maxmin.knowledge import GlobalKnowledge
 from repro.core.maxmin.ledger import PairCountLedger
 from repro.core.maxmin.policy import SwapCandidate
+from repro.perf.kernels import candidate_block
 
 NodeId = Hashable
 PairKey = Tuple[NodeId, NodeId]
@@ -259,6 +260,18 @@ class IncrementalMaxMinBalancer(MaxMinBalancer):
             self._active.discard(repeater)
 
     def _flush_all(self) -> None:
+        # A full invalidation (knowledge reassignment, invalidate_all) marks
+        # every node stale; re-evaluating the whole dirty set one naive
+        # O(partners²) node at a time is then strictly worse than one
+        # vectorized global sweep, which produces the identical candidate
+        # sets through the balancer-candidates kernel.
+        if (
+            self._fast_global
+            and self._stale
+            and self._stale.issuperset(self.ledger.nodes)
+        ):
+            self._rebuild_all()
+            return
         pending = set(self._stale)
         pending.update(self._dirty_partners)
         pending.update(self._dirty_pairs)
@@ -316,10 +329,11 @@ class IncrementalMaxMinBalancer(MaxMinBalancer):
                 self._rebuild_node(node)
 
     def _vectorized_sweep(self) -> None:
-        """NumPy batch evaluation of every candidate under global knowledge.
+        """Batch evaluation of every candidate under global knowledge.
 
         Builds the dense count and distillation-cost matrices once, then
-        evaluates each repeater's full candidate block with array ops
+        evaluates each repeater's full candidate block through the
+        ``balancer-candidates`` kernel (see :mod:`repro.perf.kernels`)
         instead of per-pair Python loops.
         """
         nonzero = self.ledger.nonzero_pairs()
@@ -348,10 +362,8 @@ class IncrementalMaxMinBalancer(MaxMinBalancer):
             elig_idx = partner_idx[eligible]
             elig_head = headroom[eligible]
             elig_nodes = [p for p, ok in zip(partners, eligible) if ok]
-            limit = np.minimum(elig_head[:, None], elig_head[None, :])
             recipient = counts[np.ix_(elig_idx, elig_idx)]
-            valid = (recipient + 1) <= limit
-            rows, cols = np.nonzero(np.triu(valid, k=1))
+            rows, cols = candidate_block(elig_head, recipient)
             if rows.size == 0:
                 continue
             cache: Dict[PairKey, SwapCandidate] = {}

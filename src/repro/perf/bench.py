@@ -1,0 +1,272 @@
+"""The benchmark-trajectory emitter behind ``repro bench``.
+
+Re-runs the workloads the ``benchmarks/`` suite times — the three
+accelerated kernels against their pure-Python references, the vectorized
+Werner batch algebra, the vectorized arrival sampling, the incremental
+balancer's convergence, and a quick figure-4 sweep — in a deterministic
+quick mode, and emits one JSON document: per-benchmark median-of-k wall
+times (see :mod:`repro.perf.timing`), the machine fingerprint, and the git
+revision.  The checked-in snapshot lives at ``BENCH_6.json`` in the repo
+root, regenerated with::
+
+    PYTHONPATH=src python -m repro bench --output BENCH_6.json --force
+
+so future sessions can see the perf trajectory instead of guessing.  CI
+re-emits and schema-validates the document on every push (the
+``--quick`` variant) and uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.perf.kernels import (
+    active_backend,
+    available_backends,
+    get_kernel,
+    kernel_names,
+)
+from repro.perf.schemas import PERF_SCHEMA_VERSION, validate_bench
+from repro.perf.timing import median_of_k
+
+#: Input sizes per kernel: full (the checked-in trajectory) and quick (CI).
+_KERNEL_SIZES = {
+    "event-drain": {"full": 100_000, "quick": 20_000},
+    "balancer-candidates": {"full": 600, "quick": 250},
+    "serve-prefix": {"full": 200_000, "quick": 50_000},
+}
+
+
+def _kernel_inputs(name: str, quick: bool):
+    """Deterministic synthetic inputs for kernel ``name`` at trajectory scale."""
+    size = _KERNEL_SIZES[name]["quick" if quick else "full"]
+    rng = np.random.default_rng(6)
+    if name == "event-drain":
+        times = rng.integers(0, size // 4, size).astype(np.float64)
+        priorities = rng.integers(-2, 3, size).astype(np.int64)
+        sequences = np.arange(size, dtype=np.int64)
+        cancelled = rng.random(size) < 0.5
+        return (times, priorities, sequences, cancelled)
+    if name == "balancer-candidates":
+        headroom = rng.integers(0, 8, size).astype(np.int64)
+        recipient = rng.integers(0, 10, (size, size)).astype(np.int64)
+        return (headroom, recipient)
+    if name == "serve-prefix":
+        # A mostly-servable stream (the regime the doubling window feeds the
+        # kernel): budgets straddle the ~size/35 expected per-pair load.
+        codes = rng.integers(0, 35, size).astype(np.int64)
+        budgets = rng.integers(size // 40, size // 25, 35).astype(np.int64)
+        return (codes, budgets)
+    raise KeyError(f"no bench inputs for kernel {name!r}")
+
+
+def _accelerated_backend() -> str:
+    """The fastest accelerated backend available (numba > numpy)."""
+    backends = available_backends()
+    return "numba" if "numba" in backends else "numpy"
+
+
+def _kernel_benchmarks(repeats: int, warmup: int, quick: bool) -> List[Dict[str, Any]]:
+    backend = _accelerated_backend()
+    entries = []
+    for name in kernel_names():
+        pair = get_kernel(name)
+        inputs = _kernel_inputs(name, quick)
+        reference_seconds = median_of_k(
+            lambda: pair.reference(*inputs), repeats=repeats, warmup=warmup
+        )
+        accelerated = pair.implementation(backend)
+        accelerated_seconds = median_of_k(
+            lambda: accelerated(*inputs), repeats=repeats, warmup=warmup
+        )
+        entries.append(
+            {
+                "name": f"kernel.{name}",
+                "group": "kernels",
+                "median_seconds": accelerated_seconds,
+                "reference_median_seconds": reference_seconds,
+                "speedup": reference_seconds / accelerated_seconds
+                if accelerated_seconds > 0
+                else None,
+            }
+        )
+    return entries
+
+
+def _quantum_batch_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    from repro.quantum.batch import swap_fidelity_batch
+    from repro.quantum.fidelity import swap_fidelity
+
+    size = 1024 if quick else 4096
+    rng = np.random.default_rng(11)
+    a = rng.uniform(0.25, 1.0, size)
+    b = rng.uniform(0.25, 1.0, size)
+    batch_seconds = median_of_k(lambda: swap_fidelity_batch(a, b), repeats=repeats, warmup=warmup)
+    scalar_seconds = median_of_k(
+        lambda: [swap_fidelity(x, y) for x, y in zip(a, b)], repeats=repeats, warmup=warmup
+    )
+    return {
+        "name": "quantum.swap-fidelity-batch",
+        "group": "batch",
+        "median_seconds": batch_seconds,
+        "reference_median_seconds": scalar_seconds,
+        "speedup": scalar_seconds / batch_seconds if batch_seconds > 0 else None,
+    }
+
+
+def _arrivals_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    from repro.workloads.arrivals import poisson_counts, poisson_counts_scalar
+
+    horizon = 20_000 if quick else 100_000
+    vector_seconds = median_of_k(
+        lambda: poisson_counts(1.0, horizon, np.random.default_rng(42)),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    scalar_seconds = median_of_k(
+        lambda: poisson_counts_scalar(1.0, horizon, np.random.default_rng(42)),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    return {
+        "name": "workloads.poisson-arrivals",
+        "group": "workloads",
+        "median_seconds": vector_seconds,
+        "reference_median_seconds": scalar_seconds,
+        "speedup": scalar_seconds / vector_seconds if vector_seconds > 0 else None,
+    }
+
+
+def _balancer_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    from repro.core.maxmin.incremental import IncrementalMaxMinBalancer
+    from repro.core.maxmin.ledger import PairCountLedger
+
+    n_nodes = 60 if quick else 120
+
+    def converge():
+        ledger = PairCountLedger(range(n_nodes))
+        rng = np.random.default_rng(3)
+        for node in range(n_nodes):
+            ledger.add(node, (node + 1) % n_nodes, int(rng.integers(1, 12)))
+        balancer = IncrementalMaxMinBalancer(
+            ledger, rng=np.random.default_rng(0), keep_records=False
+        )
+        balancer.balance_to_convergence(max_rounds=5000)
+        balancer.detach()
+
+    return {
+        "name": "balancer.incremental-convergence",
+        "group": "maxmin",
+        "median_seconds": median_of_k(converge, repeats=repeats, warmup=warmup),
+        "reference_median_seconds": None,
+        "speedup": None,
+    }
+
+
+def _figure4_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    from repro.experiments.figure4 import run_figure4
+
+    def sweep():
+        run_figure4(
+            n_nodes=9,
+            distillation_values=(1.0,) if quick else (1.0, 2.0),
+            topologies=("cycle",),
+            n_requests=8,
+            n_consumer_pairs=5,
+        )
+
+    return {
+        "name": "experiments.figure4-quick",
+        "group": "experiments",
+        "median_seconds": median_of_k(sweep, repeats=repeats, warmup=warmup),
+        "reference_median_seconds": None,
+        "speedup": None,
+    }
+
+
+def machine_fingerprint() -> Dict[str, Any]:
+    """Where this trajectory was measured (wall times are machine-relative)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def git_revision() -> str:
+    """The repo's short git revision, or ``"unknown"`` outside a checkout."""
+    for root in (Path(__file__).resolve().parents[3], Path.cwd()):
+        if not (root / ".git").exists():
+            continue
+        try:
+            completed = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=root,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            )
+            return completed.stdout.strip() or "unknown"
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return "unknown"
+
+
+def run_bench(
+    repeats: int = 5, warmup: int = 1, quick: bool = False
+) -> Dict[str, Any]:
+    """Run the trajectory suite and return the validated BENCH payload."""
+    benchmarks = _kernel_benchmarks(repeats, warmup, quick)
+    benchmarks.append(_quantum_batch_benchmark(repeats, warmup, quick))
+    benchmarks.append(_arrivals_benchmark(repeats, warmup, quick))
+    benchmarks.append(_balancer_benchmark(repeats, warmup, quick))
+    benchmarks.append(_figure4_benchmark(repeats, warmup, quick))
+    payload = {
+        "schema_version": PERF_SCHEMA_VERSION,
+        "kind": "bench",
+        "issue": 6,
+        "git_rev": git_revision(),
+        "kernels_backend": active_backend(),
+        "machine": machine_fingerprint(),
+        "timing": {"repeats": int(repeats), "warmup": int(warmup), "quick": bool(quick)},
+        "benchmarks": benchmarks,
+    }
+    validate_bench(payload)
+    return payload
+
+
+def kernel_speedups(payload: Dict[str, Any]) -> Dict[str, Optional[float]]:
+    """``kernel name -> measured speedup`` from a BENCH payload."""
+    return {
+        entry["name"][len("kernel.") :]: entry.get("speedup")
+        for entry in payload["benchmarks"]
+        if entry["group"] == "kernels"
+    }
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    """A terse human rendering of a BENCH payload (the CLI's text output)."""
+    lines = [
+        f"BENCH trajectory (issue {payload['issue']}, rev {payload['git_rev']}, "
+        f"kernels={payload['kernels_backend']}, "
+        f"median of {payload['timing']['repeats']} after {payload['timing']['warmup']} warmup)",
+        f"{'median':>12}  {'reference':>12}  {'speedup':>8}  benchmark",
+    ]
+    for entry in payload["benchmarks"]:
+        reference = entry.get("reference_median_seconds")
+        speedup = entry.get("speedup")
+        lines.append(
+            f"{entry['median_seconds'] * 1e3:>10.3f}ms  "
+            + (f"{reference * 1e3:>10.3f}ms  " if reference is not None else f"{'-':>12}  ")
+            + (f"{speedup:>7.1f}x  " if speedup is not None else f"{'-':>8}  ")
+            + entry["name"]
+        )
+    return "\n".join(lines)

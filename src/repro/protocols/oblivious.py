@@ -14,7 +14,9 @@ Each round:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Union
+from typing import Dict, Hashable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.hybrid import HybridPlanner
 from repro.core.lp.extensions import PairOverheads
@@ -25,6 +27,7 @@ from repro.core.maxmin.policy import BalancingPolicy
 from repro.network.demand import ConsumptionRequest, RequestSequence
 from repro.network.generation import GenerationProcess
 from repro.network.topology import Topology
+from repro.perf.kernels import servable_prefix
 from repro.protocols.base import SwappingProtocol
 from repro.sim.rng import RandomStreams
 
@@ -110,6 +113,21 @@ class PathObliviousProtocol(SwappingProtocol):
             if use_hybrid_fallback
             else None
         )
+        # The serve-prefix kernel can size a round's whole consumption burst
+        # in one call only when serving is exactly "head pair holds >= D
+        # pairs" and the request list is immutable: no hybrid fallback, no
+        # per-round consumption cap, no scenario (demand drift may rewrite
+        # pending pairs), and the plain ordered sequence (timed subclasses
+        # release requests dynamically).
+        self._prefix_fast_path = (
+            self.hybrid is None
+            and self.consumptions_per_round is None
+            and self.scenario is None
+            and type(self.requests) is RequestSequence
+        )
+        self._encoded_requests: Optional[
+            Tuple[np.ndarray, List[Tuple[NodeId, NodeId]], List[int]]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # Phases
@@ -129,6 +147,63 @@ class PathObliviousProtocol(SwappingProtocol):
                 self.pairs_consumed += self.balancer.consume(node_a, node_b)
                 return True
         return False
+
+    def _encode_requests(self):
+        """Cache the immutable request stream as per-pair integer codes."""
+        if self._encoded_requests is None:
+            pair_code: Dict[Tuple[NodeId, NodeId], int] = {}
+            pairs: List[Tuple[NodeId, NodeId]] = []
+            codes = np.empty(len(self.requests), dtype=np.int64)
+            for position, request in enumerate(self.requests.requests()):
+                code = pair_code.get(request.pair)
+                if code is None:
+                    code = len(pairs)
+                    pair_code[request.pair] = code
+                    pairs.append(request.pair)
+                codes[position] = code
+            costs = [self.balancer.distillation_cost(a, b) for a, b in pairs]
+            self._encoded_requests = (codes, pairs, costs)
+        return self._encoded_requests
+
+    def _consumption_phase(self, round_index: int) -> Optional[bool]:
+        if not self._prefix_fast_path:
+            return super()._consumption_phase(round_index)
+        requests = self.requests
+        head = requests.head()
+        if head is None:
+            return True if requests.all_satisfied else None
+        requests.note_head_issued(round_index)
+        if not self.balancer.can_consume(*head.pair):
+            return None
+        # The head is servable: size the whole burst with the serve-prefix
+        # kernel instead of re-checking can_consume per request.  Serving a
+        # request only spends its own pair's ledger count, so each pair
+        # funds exactly count // cost consumptions this round.  The window
+        # doubles so a round serving k requests costs O(k), not O(pending).
+        codes, pairs, costs = self._encode_requests()
+        start = requests.satisfied_count
+        total = len(codes)
+        window = 16
+        while True:
+            stop = min(start + window, total)
+            budgets = np.array(
+                [self.ledger.count(a, b) // cost for (a, b), cost in zip(pairs, costs)],
+                dtype=np.int64,
+            )
+            prefix = servable_prefix(codes[start:stop], budgets)
+            if prefix < stop - start or stop == total:
+                break
+            window *= 2
+        for _ in range(prefix):
+            request = requests.head()
+            requests.note_head_issued(round_index)
+            self.pairs_consumed += self.balancer.consume(*request.pair)
+            requests.mark_head_satisfied(round_index)
+        head = requests.head()
+        if head is None:
+            return True if requests.all_satisfied else None
+        requests.note_head_issued(round_index)
+        return None
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -12,6 +12,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Dict, List, Optional
 
+import numpy as np
+
+from repro.perf.kernels import event_drain_order
 from repro.sim.clock import SimulationClock
 from repro.sim.events import EventType, SimEvent
 from repro.sim.metrics import MetricRegistry
@@ -59,8 +62,17 @@ class EventQueue:
 
     def _maybe_compact(self) -> None:
         if len(self._heap) >= self.COMPACT_MIN_SIZE and 2 * self._cancelled >= len(self._heap):
-            self._heap = [event for event in self._heap if not event.cancelled]
-            heapq.heapify(self._heap)
+            # The event-drain kernel orders the surviving events outright
+            # (by (time, priority, sequence), exactly the heap's drain
+            # order); a fully sorted list is a valid binary heap, so no
+            # heapify pass is needed afterwards.
+            heap = self._heap
+            n = len(heap)
+            times = np.fromiter((event.time for event in heap), dtype=np.float64, count=n)
+            priorities = np.fromiter((event.priority for event in heap), dtype=np.int64, count=n)
+            sequences = np.fromiter((event.sequence for event in heap), dtype=np.int64, count=n)
+            cancelled = np.fromiter((event.cancelled for event in heap), dtype=bool, count=n)
+            self._heap = [heap[i] for i in event_drain_order(times, priorities, sequences, cancelled)]
             self._cancelled = 0
 
     def pop(self) -> SimEvent:

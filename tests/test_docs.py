@@ -16,7 +16,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser
+from repro.cli import EXPERIMENTS, TOOL_COMMANDS, build_parser
 from repro.experiments.registry import experiment_names, iter_experiments
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -82,11 +82,12 @@ def test_referenced_modules_import():
 def test_cli_subcommands_shown_are_real():
     shown = set(_CLI_LINE.findall(_doc_text()))
     assert shown, "docs should demonstrate CLI usage"
-    unknown = shown - set(EXPERIMENTS)
-    assert not unknown, f"docs show nonexistent experiments: {sorted(unknown)}"
+    runnable = set(EXPERIMENTS) | set(TOOL_COMMANDS)
+    unknown = shown - runnable
+    assert not unknown, f"docs show nonexistent subcommands: {sorted(unknown)}"
     # Everything runnable should also be documented somewhere.
-    undocumented = set(EXPERIMENTS) - shown
-    assert not undocumented, f"experiments missing from docs: {sorted(undocumented)}"
+    undocumented = runnable - shown
+    assert not undocumented, f"subcommands missing from docs: {sorted(undocumented)}"
 
 
 def _walk_parsers(parser):
@@ -188,6 +189,21 @@ def test_every_queue_policy_and_class_is_documented():
     ):
         missing = [name for name in collection if name not in tokens]
         assert not missing, f"{kind} names missing from the docs: {missing}"
+
+
+def test_every_kernel_and_backend_is_documented():
+    """Registry gate: every kernel in the perf registry and every value
+    ``REPRO_KERNELS`` accepts must appear in the docs as a backticked
+    token, so the acceleration surface can never grow undocumented."""
+    from repro.perf.kernels import KERNEL_BACKENDS, KERNELS_ENV, kernel_names
+
+    text = _doc_text()
+    tokens = set(re.findall(r"`([a-z-]+)`", text))
+    missing = [name for name in kernel_names() if name not in tokens]
+    assert not missing, f"kernel names missing from the docs: {missing}"
+    missing = [backend for backend in KERNEL_BACKENDS if backend not in tokens]
+    assert not missing, f"kernel backends missing from the docs: {missing}"
+    assert KERNELS_ENV in text, f"docs never mention the {KERNELS_ENV} switch"
 
 
 def test_every_experiment_has_a_ci_invocation():
