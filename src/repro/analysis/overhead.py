@@ -19,6 +19,7 @@ from repro.core.lp.extensions import PairOverheads
 from repro.network.demand import ConsumptionRequest
 from repro.network.topology import EdgeKey, Topology
 from repro.protocols.base import ProtocolResult
+from repro.protocols.fusion import DEFAULT_GROUP_STRATEGY, group_sessions
 from repro.protocols.nested import nested_swap_count
 
 
@@ -42,16 +43,30 @@ class OverheadBreakdown:
 def request_path_lengths(
     topology: Topology, requests: Iterable[ConsumptionRequest]
 ) -> List[int]:
-    """Shortest-path hop counts, in the generation graph, for each request."""
+    """Shortest-path hop counts, in the generation graph, per Bell-pair session.
+
+    A 2-party request contributes exactly one entry (its endpoints' shortest
+    path), so pair-only workloads are unchanged.  A multicast request
+    contributes one entry per session of its serving strategy (star arms for
+    ``shared``, all member pairs for ``independent-sessions``): the optimal
+    cost of a group consumption is the optimal cost of the sessions it spends.
+    """
     lengths: List[int] = []
     for request in requests:
-        length = topology.shortest_path_length(*request.pair)
-        if length is None:
-            raise ValueError(
-                f"request pair {request.pair} is disconnected in {topology.name}; "
-                "the overhead metric is undefined"
+        if len(request.pair) == 2:
+            sessions = [request.pair]
+        else:
+            sessions = group_sessions(
+                request.pair, request.strategy or DEFAULT_GROUP_STRATEGY
             )
-        lengths.append(length)
+        for session in sessions:
+            length = topology.shortest_path_length(*session)
+            if length is None:
+                raise ValueError(
+                    f"request pair {session} is disconnected in {topology.name}; "
+                    "the overhead metric is undefined"
+                )
+            lengths.append(length)
     return lengths
 
 

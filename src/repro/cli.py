@@ -150,7 +150,7 @@ def _add_tool_subcommands(subparsers) -> None:
 
     bench = subparsers.add_parser(
         "bench",
-        help="emit the benchmark trajectory (median-of-k wall times, BENCH_6.json)",
+        help="emit the benchmark trajectory (median-of-k wall times, BENCH_7.json)",
         description="Re-run the benchmarks/ workloads deterministically and emit "
         "the BENCH trajectory document: per-benchmark median-of-k wall times, "
         "kernel speedups vs the pure-Python references, machine fingerprint and "
@@ -160,7 +160,7 @@ def _add_tool_subcommands(subparsers) -> None:
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized inputs (the checked-in BENCH_6.json uses full sizes)",
+        help="CI-sized inputs (the checked-in BENCH_7.json uses full sizes)",
     )
     bench.add_argument(
         "--repeats",

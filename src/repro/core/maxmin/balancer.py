@@ -129,6 +129,35 @@ class MaxMinBalancer:
         self.ledger.remove(node_a, node_b, cost)
         return cost
 
+    def can_consume_sessions(self, sessions) -> bool:
+        """Whether every Bell-pair session in ``sessions`` is affordable now.
+
+        ``sessions`` is a list of canonical node pairs (e.g. from
+        :func:`repro.protocols.fusion.group_sessions`); a group consumption
+        is servable only when *all* of its sessions hold enough pairs.  A
+        repeated pair must be affordable that many times over.  The
+        single-session case is exactly :meth:`can_consume`.
+        """
+        needed: Dict[EdgeKey, int] = {}
+        for node_a, node_b in sessions:
+            key = edge_key(node_a, node_b)
+            needed[key] = needed.get(key, 0) + self.distillation_cost(node_a, node_b)
+        return all(
+            self.ledger.count(key[0], key[1]) >= amount for key, amount in needed.items()
+        )
+
+    def consume_sessions(self, sessions) -> int:
+        """Serve a group consumption: remove ``D`` pairs per session.
+
+        Returns total pairs removed.  Callers must have checked
+        :meth:`can_consume_sessions`; a shortfall raises mid-way like
+        :meth:`consume` would, leaving earlier sessions consumed.
+        """
+        removed = 0
+        for node_a, node_b in sessions:
+            removed += self.consume(node_a, node_b)
+        return removed
+
     # ------------------------------------------------------------------ #
     # Candidate enumeration (the paper's preferable condition)
     # ------------------------------------------------------------------ #

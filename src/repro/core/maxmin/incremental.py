@@ -102,7 +102,7 @@ class IncrementalMaxMinBalancer(MaxMinBalancer):
             if not self.overheads.distillation
             else None
         )
-        self.ledger.subscribe(self._on_mutation)
+        self.ledger.subscribe_groups(self._on_group_mutation)
         self._rebuild_all()
 
     # The knowledge model is settable after construction (the experiment
@@ -125,11 +125,19 @@ class IncrementalMaxMinBalancer(MaxMinBalancer):
 
     def detach(self) -> None:
         """Stop observing the ledger (the engine must not be used afterwards)."""
-        self.ledger.unsubscribe(self._on_mutation)
+        self.ledger.unsubscribe_groups(self._on_group_mutation)
 
     # ------------------------------------------------------------------ #
     # Invalidation
     # ------------------------------------------------------------------ #
+    def _on_group_mutation(self, group, old: int, new: int) -> None:
+        # The dirty-set machinery is keyed by the mutated group.  Bell-pair
+        # mutations (size-2 groups) feed the pair invalidation below; GHZ
+        # mutations (size >= 3) cannot change any swap candidate — swaps
+        # produce and consume Bell pairs only — so they invalidate nothing.
+        if len(group) == 2:
+            self._on_mutation(group[0], group[1], old, new)
+
     def _on_mutation(self, node_a: NodeId, node_b: NodeId, old: int, new: int) -> None:
         cost = (
             self._uniform_cost

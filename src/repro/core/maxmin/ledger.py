@@ -10,14 +10,19 @@ the count-level simulations; the knowledge models in
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
-from repro.network.topology import EdgeKey, edge_key
+from repro.network.topology import EdgeKey, GroupKey, edge_key, group_key
 
 NodeId = Hashable
 
 #: Signature of a mutation listener: ``(node_a, node_b, old_count, new_count)``.
 MutationListener = Callable[[NodeId, NodeId, int, int], None]
+
+#: Signature of a group-keyed mutation listener: ``(group, old_count, new_count)``.
+#: Pair mutations arrive with the size-2 canonical group key; GHZ mutations
+#: with the full k-party key.
+GroupMutationListener = Callable[[GroupKey, int, int], None]
 
 
 class PairCountLedger:
@@ -30,11 +35,22 @@ class PairCountLedger:
     to be notified after every :meth:`add`/:meth:`remove`, which is what
     makes O(affected) candidate invalidation possible without the ledger
     knowing anything about balancing.
+
+    Beyond pairs, the ledger also tracks *group* (GHZ) states: counts keyed
+    by a canonical :data:`~repro.network.topology.GroupKey` of three or more
+    members.  Size-2 groups are not stored separately -- the group API
+    (:meth:`add_group`, :meth:`remove_group`, :meth:`group_count`) dispatches
+    them straight to the pair table, so the pair-keyed API remains the
+    authoritative view for Bell pairs and group-size-2 behavior is
+    bit-identical to the pair path.
     """
 
     def __init__(self, nodes: Optional[Iterable[NodeId]] = None):
         self._counts: Dict[NodeId, Dict[NodeId, int]] = {}
+        self._group_counts: Dict[GroupKey, int] = {}
+        self._group_membership: Dict[NodeId, Set[GroupKey]] = {}
         self._listeners: List[MutationListener] = []
+        self._group_listeners: List[GroupMutationListener] = []
         for node in nodes or []:
             self.ensure_node(node)
 
@@ -51,9 +67,27 @@ class PairCountLedger:
         if listener in self._listeners:
             self._listeners.remove(listener)
 
+    def subscribe_groups(self, listener: GroupMutationListener) -> None:
+        """Register a group-keyed listener (sees pair and GHZ mutations alike)."""
+        if listener not in self._group_listeners:
+            self._group_listeners.append(listener)
+
+    def unsubscribe_groups(self, listener: GroupMutationListener) -> None:
+        """Remove a previously subscribed group listener (no-op if absent)."""
+        if listener in self._group_listeners:
+            self._group_listeners.remove(listener)
+
     def _notify(self, node_a: NodeId, node_b: NodeId, old_count: int, new_count: int) -> None:
         for listener in self._listeners:
             listener(node_a, node_b, old_count, new_count)
+        if self._group_listeners:
+            key = edge_key(node_a, node_b)
+            for group_listener in self._group_listeners:
+                group_listener(key, old_count, new_count)
+
+    def _notify_group(self, group: GroupKey, old_count: int, new_count: int) -> None:
+        for group_listener in self._group_listeners:
+            group_listener(group, old_count, new_count)
 
     # ------------------------------------------------------------------ #
     # Node management
@@ -87,7 +121,7 @@ class PairCountLedger:
         new_count = old_count + int(amount)
         self._counts[node_a][node_b] = new_count
         self._counts[node_b][node_a] = new_count
-        if self._listeners:
+        if self._listeners or self._group_listeners:
             self._notify(node_a, node_b, old_count, new_count)
         return new_count
 
@@ -108,9 +142,83 @@ class PairCountLedger:
         else:
             self._counts[node_a][node_b] = new_count
             self._counts[node_b][node_a] = new_count
-        if self._listeners:
+        if self._listeners or self._group_listeners:
             self._notify(node_a, node_b, current, new_count)
         return new_count
+
+    # ------------------------------------------------------------------ #
+    # Group (GHZ) counts -- size-2 groups dispatch to the pair table
+    # ------------------------------------------------------------------ #
+    def group_count(self, *nodes: NodeId) -> int:
+        """The count of k-party GHZ states over ``nodes`` (pairs for k=2)."""
+        key = group_key(*nodes)
+        if len(key) == 2:
+            return self.count(key[0], key[1])
+        return self._group_counts.get(key, 0)
+
+    def add_group(self, nodes: Iterable[NodeId], amount: int = 1) -> int:
+        """Add ``amount`` GHZ states over ``nodes``; returns the new count.
+
+        A size-2 group is exactly a Bell pair: the mutation lands in the
+        pair table and notifies pair listeners, keeping the two APIs one
+        authoritative store.
+        """
+        key = group_key(*nodes)
+        if len(key) == 2:
+            return self.add(key[0], key[1], amount)
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        for node in key:
+            self.ensure_node(node)
+        old_count = self._group_counts.get(key, 0)
+        new_count = old_count + int(amount)
+        self._group_counts[key] = new_count
+        for node in key:
+            self._group_membership.setdefault(node, set()).add(key)
+        if self._group_listeners:
+            self._notify_group(key, old_count, new_count)
+        return new_count
+
+    def remove_group(self, nodes: Iterable[NodeId], amount: int = 1) -> int:
+        """Remove ``amount`` GHZ states; raises when fewer than ``amount`` exist."""
+        key = group_key(*nodes)
+        if len(key) == 2:
+            return self.remove(key[0], key[1], amount)
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        current = self._group_counts.get(key, 0)
+        if current < amount:
+            raise ValueError(
+                f"cannot remove {amount} group states over {key!r}; only {current} present"
+            )
+        new_count = current - int(amount)
+        if new_count == 0:
+            self._group_counts.pop(key, None)
+            for node in key:
+                members = self._group_membership.get(node)
+                if members is not None:
+                    members.discard(key)
+                    if not members:
+                        self._group_membership.pop(node, None)
+        else:
+            self._group_counts[key] = new_count
+        if self._group_listeners:
+            self._notify_group(key, current, new_count)
+        return new_count
+
+    def nonzero_groups(self) -> Dict[GroupKey, int]:
+        """Every group with a positive count: pairs (as size-2 keys) plus GHZ."""
+        result: Dict[GroupKey, int] = dict(self.nonzero_pairs())
+        result.update(self._group_counts)
+        return result
+
+    def groups_involving(self, node: NodeId) -> Dict[GroupKey, int]:
+        """GHZ groups (size >= 3) that include ``node``, with counts."""
+        return {
+            key: self._group_counts[key]
+            for key in self._group_membership.get(node, ())
+            if key in self._group_counts
+        }
 
     # ------------------------------------------------------------------ #
     # Views
@@ -164,6 +272,8 @@ class PairCountLedger:
         clone = PairCountLedger(self.nodes)
         for (node_a, node_b), count in self.nonzero_pairs().items():
             clone.add(node_a, node_b, count)
+        for group, count in self._group_counts.items():
+            clone.add_group(group, count)
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,7 +25,10 @@ One module per experiment of the per-experiment index in DESIGN.md:
   fault-and-churn scenarios (:mod:`repro.scenarios`) vs the static baseline,
 * :mod:`repro.experiments.traffic` -- protocol comparison under
   Poisson/bursty/diurnal arrival load with per-class SLO metrics
-  (:mod:`repro.workloads`).
+  (:mod:`repro.workloads`),
+* :mod:`repro.experiments.multicast` -- shared (star-of-pairs + fusion) vs
+  independent-sessions GHZ group serving over group sizes 2-5
+  (:mod:`repro.protocols.fusion`).
 
 Results satisfy the uniform :class:`~repro.experiments.api.ExperimentResult`
 contract: ``series()`` / ``rows()`` / ``format_report()`` plus the
@@ -74,6 +77,11 @@ from repro.experiments.classical_overhead import (
     ClassicalOverheadResult,
     run_classical_overhead,
 )
+from repro.experiments.multicast import (
+    MulticastExperiment,
+    MulticastResult,
+    run_multicast,
+)
 from repro.experiments.resilience import ResilienceExperiment, ResilienceResult, run_resilience
 from repro.experiments.scaling import ScalingExperiment, ScalingResult, run_scaling
 from repro.experiments.traffic import TrafficExperiment, TrafficResult, run_traffic
@@ -94,6 +102,8 @@ __all__ = [
     "Figure5Result",
     "LPValidationExperiment",
     "LPValidationResult",
+    "MulticastExperiment",
+    "MulticastResult",
     "ParamSpec",
     "ResilienceExperiment",
     "ResilienceResult",
@@ -116,6 +126,7 @@ __all__ = [
     "run_figure5",
     "run_lp_validation",
     "run_many",
+    "run_multicast",
     "run_resilience",
     "run_scaling",
     "run_traffic",

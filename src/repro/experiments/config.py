@@ -130,6 +130,11 @@ class TrialOutcome:
     effective_consumer_pairs: Optional[int] = None
     #: Structured workload-generation warnings (consumer-pair shortfalls, ...).
     workload_warnings: Tuple[str, ...] = ()
+    #: How many multicast consumer groups the trial actually used (``None``
+    #: for pair-only workloads; can fall short on small topologies).
+    effective_consumer_groups: Optional[int] = None
+    #: GHZ-merge (fusion) operations performed while serving group requests.
+    fusions_performed: int = 0
 
     @property
     def overhead(self) -> float:

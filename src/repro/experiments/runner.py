@@ -201,6 +201,10 @@ def run_trial(config: ExperimentConfig) -> TrialOutcome:
         slo=slo,
         effective_consumer_pairs=len(workload.consumer_pairs),
         workload_warnings=workload.warnings,
+        effective_consumer_groups=(
+            len(workload.consumer_groups) if workload.consumer_groups else None
+        ),
+        fusions_performed=result.fusions_performed,
     )
 
 

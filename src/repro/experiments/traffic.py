@@ -35,6 +35,7 @@ from repro.experiments.runner import PROTOCOL_NAMES
 from repro.workloads.registry import (
     DEFAULT_WORKLOAD,
     WORKLOAD_NAMES,
+    draws_groups,
     is_timed_workload,
     validate_workload_spec,
 )
@@ -202,6 +203,23 @@ class TrafficExperiment(Experiment):
                 )
         params["workloads"] = specs
         params["protocols"] = tuple(params["protocols"])
+        group_specs = tuple(spec for spec in specs if draws_groups(spec))
+        if group_specs:
+            # The planned baselines serve 2-party requests only; a
+            # group-emitting workload would trip their guard mid-trial.
+            # Prune them from the default protocol set; an explicit
+            # planned choice is a config error.
+            planned = tuple(p for p in params["protocols"] if p.startswith("planned-"))
+            if params["protocols"] == tuple(PROTOCOL_NAMES):
+                params["protocols"] = tuple(
+                    p for p in params["protocols"] if not p.startswith("planned-")
+                )
+            elif planned:
+                raise ValueError(
+                    "planned protocols serve 2-party requests only; drop "
+                    f"{', '.join(planned)} or the group-emitting workload "
+                    f"({', '.join(group_specs)})"
+                )
         if params["smoke"]:
             params["workloads"] = (SMOKE_WORKLOAD,)
             params["protocols"] = SMOKE_PROTOCOLS

@@ -18,33 +18,51 @@ This module provides
 
 from __future__ import annotations
 
+import math
 import warnings
 from dataclasses import dataclass, field
+from itertools import combinations
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.network.topology import EdgeKey, Topology, edge_key
+from repro.network.topology import EdgeKey, GroupKey, Topology, edge_key, group_key
 
 NodeId = Hashable
 
 
 class ConsumerPairShortfallWarning(UserWarning):
-    """The candidate set was smaller than the requested number of pairs.
+    """The candidate set was smaller than the requested number of pairs/groups.
 
-    Carries the structured counts so harnesses can record them in result
-    metadata instead of re-parsing the message.
+    Carries the structured counts (and, for multicast draws, the group
+    size) so harnesses can record them in result metadata instead of
+    re-parsing the message.  Size-2 draws keep the historical pair wording.
     """
 
-    def __init__(self, requested: int, available: int, topology_name: str = ""):
+    def __init__(
+        self,
+        requested: int,
+        available: int,
+        topology_name: str = "",
+        group_size: int = 2,
+    ):
         self.requested = int(requested)
         self.available = int(available)
         self.topology_name = topology_name
-        super().__init__(
-            f"requested {requested} consumer pairs but only {available} candidate "
-            f"pair(s) exist{f' on {topology_name}' if topology_name else ''}; "
-            f"using all {available}"
-        )
+        self.group_size = int(group_size)
+        location = f" on {topology_name}" if topology_name else ""
+        if self.group_size == 2:
+            message = (
+                f"requested {requested} consumer pairs but only {available} candidate "
+                f"pair(s) exist{location}; using all {available}"
+            )
+        else:
+            message = (
+                f"requested {requested} consumer groups of size {self.group_size} but "
+                f"only {available} candidate group(s) exist{location}; "
+                f"using all {available}"
+            )
+        super().__init__(message)
 
 
 # ---------------------------------------------------------------------- #
@@ -95,14 +113,97 @@ def select_consumer_pairs(
     return [candidates[int(index)] for index in indices]
 
 
+#: Above this many candidate groups the uniform draw samples members
+#: directly instead of materialising every combination.
+_GROUP_ENUMERATION_CAP = 250_000
+
+
+def select_consumer_groups(
+    topology: Topology,
+    n_groups: int,
+    rng: np.random.Generator,
+    group_size: int = 2,
+    exclude_generation_edges: bool = False,
+) -> List[GroupKey]:
+    """Draw ``n_groups`` distinct consumer groups of ``group_size`` nodes.
+
+    The multicast generalisation of :func:`select_consumer_pairs`:
+    ``group_size=2`` delegates to it outright (same candidate order, same
+    RNG consumption, same shortfall pathway), so the pair draw is exactly
+    the size-2 special case.  Larger sizes draw uniformly from the
+    ``C(|N|, k)`` canonical node combinations; when that candidate set is
+    smaller than ``n_groups``, every candidate is returned and a structured
+    :class:`ConsumerPairShortfallWarning` (carrying the group size and
+    topology name) is emitted, mirroring the pair pathway.
+    """
+    if group_size < 2:
+        raise ValueError(f"group_size must be at least 2, got {group_size}")
+    if group_size == 2:
+        return [
+            group_key(*pair)
+            for pair in select_consumer_pairs(
+                topology, n_groups, rng, exclude_generation_edges
+            )
+        ]
+    if exclude_generation_edges:
+        raise ValueError("exclude_generation_edges only applies to group_size=2 draws")
+    if n_groups <= 0:
+        raise ValueError(f"n_groups must be positive, got {n_groups}")
+    nodes = sorted(topology.nodes, key=repr)
+    if len(nodes) < group_size:
+        raise ValueError(
+            f"cannot draw groups of {group_size} nodes from a {len(nodes)}-node topology"
+        )
+    n_candidates = math.comb(len(nodes), group_size)
+    if n_candidates <= _GROUP_ENUMERATION_CAP:
+        candidates = [tuple(combo) for combo in combinations(nodes, group_size)]
+        if n_groups >= len(candidates):
+            if n_groups > len(candidates):
+                warnings.warn(
+                    ConsumerPairShortfallWarning(
+                        n_groups, len(candidates), topology.name, group_size=group_size
+                    ),
+                    stacklevel=2,
+                )
+            return list(candidates)
+        indices = rng.choice(len(candidates), size=n_groups, replace=False)
+        return [candidates[int(index)] for index in indices]
+    # The candidate space is too large to enumerate: draw members directly
+    # (still deterministic for a seeded rng) and deduplicate.
+    chosen: Dict[GroupKey, None] = {}
+    while len(chosen) < n_groups:
+        members = rng.choice(len(nodes), size=group_size, replace=False)
+        chosen.setdefault(group_key(*(nodes[int(i)] for i in members)))
+    return list(chosen)
+
+
 @dataclass
 class ConsumptionRequest:
-    """One entry in the ordered request sequence."""
+    """One entry in the ordered request sequence.
+
+    ``pair`` holds the request's canonical group key: historically always a
+    2-tuple (hence the name, kept for API stability), and since the
+    group-keyed refactor a :data:`~repro.network.topology.GroupKey` of any
+    size ``>= 2`` -- use :attr:`group` / :attr:`group_size` for code that
+    serves n-party requests.  ``strategy`` optionally pins the
+    group-serving strategy (:data:`repro.protocols.fusion.GROUP_STRATEGIES`)
+    for this request; ``None`` defers to the protocol's default.
+    """
 
     index: int
-    pair: EdgeKey
+    pair: GroupKey
     issued_round: Optional[int] = None
     satisfied_round: Optional[int] = None
+    strategy: Optional[str] = None
+
+    @property
+    def group(self) -> GroupKey:
+        """The request's canonical node group (alias of :attr:`pair`)."""
+        return self.pair
+
+    @property
+    def group_size(self) -> int:
+        return len(self.pair)
 
     @property
     def satisfied(self) -> bool:
@@ -224,7 +325,9 @@ class RequestSequence:
             replacement = mapper(request)
             if replacement is None or replacement == request.pair:
                 continue
-            request.pair = edge_key(*replacement)
+            request.pair = (
+                edge_key(*replacement) if len(replacement) == 2 else group_key(*replacement)
+            )
             remapped += 1
         return remapped
 
@@ -249,9 +352,14 @@ class RequestSequence:
     def satisfied_requests(self) -> List[ConsumptionRequest]:
         return [request for request in self._requests if request.satisfied]
 
-    def consumption_counts(self) -> Dict[EdgeKey, int]:
-        """How many satisfied requests each consumer pair accounts for."""
-        counts: Dict[EdgeKey, int] = {}
+    def consumption_counts(self) -> Dict[GroupKey, int]:
+        """Satisfied requests per consumer group, keyed by the full group key.
+
+        A multicast request counts under its whole canonical group tuple --
+        never folded into its first two nodes -- so pair and group demand on
+        overlapping node sets stay distinguishable.
+        """
+        counts: Dict[GroupKey, int] = {}
         for request in self.satisfied_requests():
             counts[request.pair] = counts.get(request.pair, 0) + 1
         return counts
@@ -265,9 +373,16 @@ class RequestSequence:
 # ---------------------------------------------------------------------- #
 @dataclass
 class DemandMatrix:
-    """Average consumption rates ``c(x, y)`` keyed by unordered node pair."""
+    """Average consumption rates keyed by unordered node pair (plus groups).
+
+    ``rates`` is the paper's pair-keyed table ``c(x, y)``; ``group_rates``
+    carries multicast demand keyed by canonical :data:`~repro.network.
+    topology.GroupKey` for groups of three or more parties (size-2 group
+    demand lives in ``rates`` -- :meth:`set_group_rate` dispatches).
+    """
 
     rates: Dict[EdgeKey, float] = field(default_factory=dict)
+    group_rates: Dict[GroupKey, float] = field(default_factory=dict)
 
     def rate(self, node_a: NodeId, node_b: NodeId) -> float:
         """The rate ``c(x, y)`` (zero when the pair has no demand)."""
@@ -290,18 +405,52 @@ class DemandMatrix:
         """All pairs with positive demand."""
         return [pair for pair, rate in self.rates.items() if rate > 0]
 
+    # -------------------------------------------------------------- #
+    # Group-valued demand (multicast)
+    # -------------------------------------------------------------- #
+    def group_rate(self, *nodes: NodeId) -> float:
+        """The multicast rate of the group over ``nodes`` (zero when absent)."""
+        key = group_key(*nodes)
+        if len(key) == 2:
+            return self.rate(key[0], key[1])
+        return self.group_rates.get(key, 0.0)
+
+    def set_group_rate(self, nodes: Iterable[NodeId], rate: float) -> None:
+        """Set the demand rate of one group (size-2 groups land in ``rates``)."""
+        key = group_key(*nodes)
+        if rate < 0:
+            raise ValueError(f"consumption rate must be non-negative, got {rate}")
+        if len(key) == 2:
+            self.set_rate(key[0], key[1], rate)
+            return
+        if rate == 0:
+            self.group_rates.pop(key, None)
+        else:
+            self.group_rates[key] = float(rate)
+
+    def groups(self) -> List[GroupKey]:
+        """Every demand key with positive rate: pairs first, then larger groups."""
+        return self.pairs() + [
+            group for group, rate in self.group_rates.items() if rate > 0
+        ]
+
     def total_rate(self) -> float:
-        return sum(self.rates.values())
+        return sum(self.rates.values()) + sum(self.group_rates.values())
 
     def node_rate(self, node: NodeId) -> float:
         """Total consumption rate involving ``node`` (the LP's per-node budget check)."""
-        return sum(rate for (a, b), rate in self.rates.items() if node in (a, b))
+        return sum(rate for (a, b), rate in self.rates.items() if node in (a, b)) + sum(
+            rate for group, rate in self.group_rates.items() if node in group
+        )
 
     def scaled(self, factor: float) -> "DemandMatrix":
         """A copy with every rate multiplied by ``factor``."""
         if factor < 0:
             raise ValueError(f"factor must be non-negative, got {factor}")
-        return DemandMatrix({pair: rate * factor for pair, rate in self.rates.items()})
+        return DemandMatrix(
+            {pair: rate * factor for pair, rate in self.rates.items()},
+            {group: rate * factor for group, rate in self.group_rates.items()},
+        )
 
 
 def uniform_demand(pairs: Iterable[EdgeKey], rate: float = 1.0) -> DemandMatrix:

@@ -21,6 +21,12 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, 
 NodeId = Hashable
 EdgeKey = Tuple[NodeId, NodeId]
 
+#: Canonical key of an entanglement group: a frozen, ``repr``-ordered tuple
+#: of two or more distinct nodes.  :data:`EdgeKey` is exactly the size-2
+#: special case -- ``group_key(a, b) == edge_key(a, b)`` -- so everything
+#: keyed by groups degenerates to the paper's pair-keyed tables at size 2.
+GroupKey = Tuple[NodeId, ...]
+
 
 def edge_key(node_a: NodeId, node_b: NodeId) -> EdgeKey:
     """Canonical unordered edge key (mirrors :func:`repro.quantum.bell_pair.pair_key`)."""
@@ -28,6 +34,27 @@ def edge_key(node_a: NodeId, node_b: NodeId) -> EdgeKey:
         raise ValueError(f"self-loop edges are not allowed (node {node_a!r})")
     first, second = sorted((node_a, node_b), key=repr)
     return (first, second)
+
+
+def group_key(*nodes: NodeId) -> GroupKey:
+    """Canonical key for an n-party entanglement group (``n >= 2``).
+
+    Nodes are deduplicated-checked and ``repr``-sorted, the same canonical
+    order :func:`edge_key` uses, so a size-2 group key is structurally
+    identical to the corresponding edge key.
+    """
+    if len(nodes) == 1 and isinstance(nodes[0], tuple):
+        nodes = nodes[0]
+    if len(nodes) < 2:
+        raise ValueError(f"a group needs at least 2 nodes, got {len(nodes)}")
+    if len(set(nodes)) != len(nodes):
+        raise ValueError(f"group members must be distinct, got {nodes!r}")
+    return tuple(sorted(nodes, key=repr))
+
+
+def group_size(group: GroupKey) -> int:
+    """Number of parties in a canonical group key."""
+    return len(group)
 
 
 class Topology:

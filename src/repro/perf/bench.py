@@ -3,13 +3,16 @@
 Re-runs the workloads the ``benchmarks/`` suite times — the three
 accelerated kernels against their pure-Python references, the vectorized
 Werner batch algebra, the vectorized arrival sampling, the incremental
-balancer's convergence, and a quick figure-4 sweep — in a deterministic
-quick mode, and emits one JSON document: per-benchmark median-of-k wall
-times (see :mod:`repro.perf.timing`), the machine fingerprint, and the git
-revision.  The checked-in snapshot lives at ``BENCH_6.json`` in the repo
-root, regenerated with::
+balancer's convergence (through the group-keyed notification channel and
+rewired to the historical pair channel, so the group layer's overhead on
+pair workloads stays measured), and a quick figure-4 sweep — in a
+deterministic quick mode, and emits one JSON document: per-benchmark
+median-of-k wall times (see :mod:`repro.perf.timing`), the machine
+fingerprint, and the git revision.  The checked-in snapshot lives at
+``BENCH_7.json`` in the repo root (``BENCH_6.json`` is the prior issue's
+trajectory, kept for history), regenerated with::
 
-    PYTHONPATH=src python -m repro bench --output BENCH_6.json --force
+    PYTHONPATH=src python -m repro bench --output BENCH_7.json --force
 
 so future sessions can see the perf trajectory instead of guessing.  CI
 re-emits and schema-validates the document on every push (the
@@ -169,6 +172,66 @@ def _balancer_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any
     }
 
 
+def _group_ledger_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    """Group-channel vs pair-channel balancer wiring on an all-pairs workload.
+
+    ``median_seconds`` times the shipped configuration (the incremental
+    balancer subscribed through the ledger's group notification channel);
+    the reference rewires the same balancer onto the historical pair
+    channel.  The ratio is the group layer's overhead on pair-only
+    workloads — ``benchmarks/test_bench_groups.py`` holds it under 10%.
+    """
+    from itertools import combinations
+
+    from repro.core.maxmin.incremental import IncrementalMaxMinBalancer
+    from repro.core.maxmin.ledger import PairCountLedger
+
+    n_nodes = 24 if quick else 40
+
+    def converge(wiring: str):
+        ledger = PairCountLedger(range(n_nodes))
+        seed_rng = np.random.default_rng(3)
+        for a, b in combinations(range(n_nodes), 2):
+            ledger.add(a, b, int(seed_rng.integers(1, 8)))
+        balancer = IncrementalMaxMinBalancer(
+            ledger, rng=np.random.default_rng(0), keep_records=False
+        )
+        if wiring == "pair":
+            ledger.unsubscribe_groups(balancer._on_group_mutation)
+            ledger.subscribe(balancer._on_mutation)
+        balancer.balance_to_convergence(max_rounds=5000)
+
+    # Interleave the two wirings sample-by-sample: each measurement takes
+    # long enough (~10^2 ms at full size) that machine drift across two
+    # back-to-back median_of_k blocks would swamp the ~percent-level
+    # overhead being measured.  Alternation cancels the drift from the
+    # ratio.
+    import statistics
+    import time
+
+    for _ in range(warmup):
+        converge("group")
+        converge("pair")
+    group_samples: List[float] = []
+    pair_samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        converge("group")
+        group_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        converge("pair")
+        pair_samples.append(time.perf_counter() - start)
+    group_seconds = statistics.median(group_samples)
+    pair_seconds = statistics.median(pair_samples)
+    return {
+        "name": "maxmin.group-ledger-allpairs",
+        "group": "maxmin",
+        "median_seconds": group_seconds,
+        "reference_median_seconds": pair_seconds,
+        "speedup": pair_seconds / group_seconds if group_seconds > 0 else None,
+    }
+
+
 def _figure4_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
     from repro.experiments.figure4 import run_figure4
 
@@ -228,11 +291,12 @@ def run_bench(
     benchmarks.append(_quantum_batch_benchmark(repeats, warmup, quick))
     benchmarks.append(_arrivals_benchmark(repeats, warmup, quick))
     benchmarks.append(_balancer_benchmark(repeats, warmup, quick))
+    benchmarks.append(_group_ledger_benchmark(repeats, warmup, quick))
     benchmarks.append(_figure4_benchmark(repeats, warmup, quick))
     payload = {
         "schema_version": PERF_SCHEMA_VERSION,
         "kind": "bench",
-        "issue": 6,
+        "issue": 7,
         "git_rev": git_revision(),
         "kernels_backend": active_backend(),
         "machine": machine_fingerprint(),

@@ -53,6 +53,9 @@ class ProtocolResult:
     swaps_by_node: Dict[NodeId, int] = field(default_factory=dict)
     classical_overhead: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Local GHZ-merge operations performed while serving multicast groups
+    #: (always 0 for pair-only workloads and the independent-sessions strategy).
+    fusions_performed: int = 0
 
     @property
     def all_requests_satisfied(self) -> bool:
@@ -269,6 +272,10 @@ class SwappingProtocol(abc.ABC):
     def classical_overhead(self) -> Dict[str, int]:
         return {}
 
+    def fusions_performed(self) -> int:
+        """Total GHZ-merge (fusion) operations executed while serving groups."""
+        return 0
+
     def _build_result(self) -> ProtocolResult:
         return ProtocolResult(
             protocol=self.name,
@@ -284,4 +291,5 @@ class SwappingProtocol(abc.ABC):
             satisfied_requests=self.requests.satisfied_requests(),
             swaps_by_node=self.swaps_by_node(),
             classical_overhead=self.classical_overhead(),
+            fusions_performed=self.fusions_performed(),
         )

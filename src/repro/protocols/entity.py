@@ -39,6 +39,7 @@ from repro.quantum.decoherence import (
 )
 from repro.scenarios.perturbations import ScenarioContext
 from repro.scenarios.scenario import Scenario
+from repro.protocols.fusion import DEFAULT_GROUP_STRATEGY, fusions_required, group_sessions
 from repro.quantum.fidelity import teleportation_fidelity
 from repro.quantum.swap import SwapPhysics
 from repro.sim.engine import SimulationEngine
@@ -62,6 +63,7 @@ class EntitySimulationResult:
     requests_satisfied: int
     delivered_fidelities: List[float] = field(default_factory=list)
     end_time: float = 0.0
+    fusions_performed: int = 0
 
     @property
     def all_requests_satisfied(self) -> bool:
@@ -169,6 +171,7 @@ class EntityLevelSimulation:
         self.pairs_expired = 0
         self.delivered_fidelities: List[float] = []
         self.rounds = 0
+        self.fusions_performed = 0
 
         self.engine.register(EventType.GENERATION, self._on_generation)
         self.engine.register(EventType.TIMER, self._on_timer)
@@ -396,10 +399,15 @@ class EntityLevelSimulation:
             if head is None:
                 return
             self.requests.note_head_issued(stamp)
-            node_a, node_b = head.pair
             # SLO classes raise the bar: a premium request is only served by
             # a pair meeting its class's delivered-fidelity floor.
             floor = max(self.fidelity_threshold, getattr(head, "fidelity_floor", 0.0))
+            if len(head.pair) != 2:
+                if not self._serve_group(head, now, floor):
+                    return
+                self.requests.mark_head_satisfied(stamp)
+                continue
+            node_a, node_b = head.pair
             candidate = self._best_pair_between(node_a, node_b, now, threshold=floor)
             if candidate is None:
                 return
@@ -407,6 +415,33 @@ class EntityLevelSimulation:
             self._remove_pair(candidate)
             self.delivered_fidelities.append(teleportation_fidelity(max(fidelity_now, 0.25)))
             self.requests.mark_head_satisfied(stamp)
+
+    def _serve_group(self, head, now: float, floor: float) -> bool:
+        """Serve one multicast (GHZ) request from stored physical pairs.
+
+        The group's strategy maps it onto Bell-pair sessions; the group is
+        served only when *every* session holds a pair meeting the fidelity
+        floor right now.  All session pairs are consumed atomically, the
+        ``shared`` strategy's ``k - 2`` fusion operations are counted, and
+        the delivered fidelity recorded is the teleportation fidelity of the
+        *worst* session pair — the GHZ state is no better than its weakest
+        arm.
+        """
+        strategy = head.strategy or DEFAULT_GROUP_STRATEGY
+        sessions = group_sessions(head.pair, strategy)
+        candidates: List[BellPair] = []
+        worst = 1.0
+        for node_a, node_b in sessions:
+            candidate = self._best_pair_between(node_a, node_b, now, threshold=floor)
+            if candidate is None:
+                return False
+            candidates.append(candidate)
+            worst = min(worst, self._current_fidelity(candidate, now))
+        for candidate in candidates:
+            self._remove_pair(candidate)
+        self.fusions_performed += fusions_required(head.pair, strategy)
+        self.delivered_fidelities.append(teleportation_fidelity(max(worst, 0.25)))
+        return True
 
     def _best_pair_between(
         self,
@@ -464,4 +499,5 @@ class EntityLevelSimulation:
             requests_satisfied=self.requests.satisfied_count,
             delivered_fidelities=list(self.delivered_fidelities),
             end_time=end_time,
+            fusions_performed=self.fusions_performed,
         )

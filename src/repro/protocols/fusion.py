@@ -1,0 +1,72 @@
+"""GHZ group-serving strategies: star-of-pairs fusion vs. independent sessions.
+
+A multicast (GHZ) consumption request names a :data:`~repro.network.
+topology.GroupKey` of ``k >= 2`` parties that need simultaneous correlated
+entanglement.  The count-level engines serve such a group by spending Bell
+pairs between *sessions* -- node pairs -- and (for the fused strategy)
+merging them locally:
+
+* ``shared`` -- the star-of-pairs strategy: one hub (the group's first
+  canonical member) holds a Bell pair with each of the other ``k - 1``
+  members, and ``k - 2`` local fusion (GHZ-merge) operations turn the star
+  into one k-party GHZ state.  Cost: ``k - 1`` pair sessions, ``k - 2``
+  fusions.
+* ``independent-sessions`` -- the baseline that never shares intermediate
+  pairs: every one of the ``C(k, 2)`` member pairs runs its own end-to-end
+  Bell-pair session (the k-party correlation is then established by
+  classical post-processing over pairwise entanglement).  Cost: ``k(k-1)/2``
+  pair sessions, no fusions.
+
+Both strategies degenerate to exactly one Bell-pair session and zero
+fusions at ``k = 2``, which is what keeps every group-size-2 code path
+bit-identical to the paper's pair-serving logic.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.network.topology import EdgeKey, GroupKey, edge_key
+
+#: Group-serving strategies a request or workload spec may name.
+GROUP_STRATEGIES: Tuple[str, ...] = ("shared", "independent-sessions")
+
+#: Strategy used when a request does not pick one.
+DEFAULT_GROUP_STRATEGY = "shared"
+
+
+def validate_strategy(strategy: str) -> str:
+    """Return ``strategy`` or raise :class:`ValueError` for unknown names."""
+    if strategy not in GROUP_STRATEGIES:
+        raise ValueError(
+            f"unknown group strategy {strategy!r}; choose from {', '.join(GROUP_STRATEGIES)}"
+        )
+    return strategy
+
+
+def group_sessions(group: GroupKey, strategy: str = DEFAULT_GROUP_STRATEGY) -> List[EdgeKey]:
+    """The Bell-pair sessions serving one consumption of ``group``.
+
+    The returned pairs are canonical edge keys in a deterministic order
+    (hub-to-member in canonical member order for ``shared``; lexicographic
+    member combinations for ``independent-sessions``).  A size-2 group maps
+    to its single pair under either strategy.
+    """
+    validate_strategy(strategy)
+    if len(group) < 2:
+        raise ValueError(f"a group needs at least 2 members, got {group!r}")
+    if len(group) == 2:
+        return [edge_key(group[0], group[1])]
+    if strategy == "shared":
+        hub = group[0]
+        return [edge_key(hub, member) for member in group[1:]]
+    return [edge_key(a, b) for a, b in combinations(group, 2)]
+
+
+def fusions_required(group: GroupKey, strategy: str = DEFAULT_GROUP_STRATEGY) -> int:
+    """Local fusion (GHZ-merge) operations one consumption of ``group`` needs."""
+    validate_strategy(strategy)
+    if strategy == "shared":
+        return max(len(group) - 2, 0)
+    return 0

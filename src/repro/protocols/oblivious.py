@@ -26,9 +26,10 @@ from repro.core.maxmin.knowledge import GlobalKnowledge, KnowledgeModel
 from repro.core.maxmin.policy import BalancingPolicy
 from repro.network.demand import ConsumptionRequest, RequestSequence
 from repro.network.generation import GenerationProcess
-from repro.network.topology import Topology
+from repro.network.topology import EdgeKey, Topology
 from repro.perf.kernels import servable_prefix
 from repro.protocols.base import SwappingProtocol
+from repro.protocols.fusion import DEFAULT_GROUP_STRATEGY, fusions_required, group_sessions
 from repro.sim.rng import RandomStreams
 
 NodeId = Hashable
@@ -128,6 +129,11 @@ class PathObliviousProtocol(SwappingProtocol):
         self._encoded_requests: Optional[
             Tuple[np.ndarray, List[Tuple[NodeId, NodeId]], List[int]]
         ] = None
+        # Group-aware fast-path caches (used only when the immutable stream
+        # contains at least one multicast request).
+        self._contains_groups: Optional[bool] = None
+        self._encoded_group_requests: Optional[List[List[Tuple[EdgeKey, int]]]] = None
+        self._fusions = 0
 
     # ------------------------------------------------------------------ #
     # Phases
@@ -137,6 +143,8 @@ class PathObliviousProtocol(SwappingProtocol):
         return None
 
     def _try_serve_head(self, request: ConsumptionRequest, round_index: int) -> bool:
+        if len(request.pair) != 2:
+            return self._try_serve_group(request)
         node_a, node_b = request.pair
         if self.balancer.can_consume(node_a, node_b):
             self.pairs_consumed += self.balancer.consume(node_a, node_b)
@@ -147,6 +155,23 @@ class PathObliviousProtocol(SwappingProtocol):
                 self.pairs_consumed += self.balancer.consume(node_a, node_b)
                 return True
         return False
+
+    def _try_serve_group(self, request: ConsumptionRequest) -> bool:
+        """Serve one multicast (GHZ) request from current counts.
+
+        The request's strategy maps the group onto Bell-pair sessions
+        (star-of-pairs for ``shared``, all member pairs for
+        ``independent-sessions``); the group is served only when *every*
+        session is affordable at once.  The hybrid fallback targets single
+        end-to-end pairs and is not attempted for groups.
+        """
+        strategy = request.strategy or DEFAULT_GROUP_STRATEGY
+        sessions = group_sessions(request.pair, strategy)
+        if not self.balancer.can_consume_sessions(sessions):
+            return False
+        self.pairs_consumed += self.balancer.consume_sessions(sessions)
+        self._fusions += fusions_required(request.pair, strategy)
+        return True
 
     def _encode_requests(self):
         """Cache the immutable request stream as per-pair integer codes."""
@@ -165,9 +190,30 @@ class PathObliviousProtocol(SwappingProtocol):
             self._encoded_requests = (codes, pairs, costs)
         return self._encoded_requests
 
+    def _encode_group_requests(self) -> List[List[Tuple[EdgeKey, int]]]:
+        """Cache each request's ``(session pair, cost)`` list for the prefix scan."""
+        if self._encoded_group_requests is None:
+            encoded: List[List[Tuple[EdgeKey, int]]] = []
+            for request in self.requests.requests():
+                strategy = request.strategy or DEFAULT_GROUP_STRATEGY
+                encoded.append(
+                    [
+                        (pair, self.balancer.distillation_cost(*pair))
+                        for pair in group_sessions(request.pair, strategy)
+                    ]
+                )
+            self._encoded_group_requests = encoded
+        return self._encoded_group_requests
+
     def _consumption_phase(self, round_index: int) -> Optional[bool]:
         if not self._prefix_fast_path:
             return super()._consumption_phase(round_index)
+        if self._contains_groups is None:
+            self._contains_groups = any(
+                len(request.pair) != 2 for request in self.requests.requests()
+            )
+        if self._contains_groups:
+            return self._group_consumption_phase(round_index)
         requests = self.requests
         head = requests.head()
         if head is None:
@@ -205,6 +251,57 @@ class PathObliviousProtocol(SwappingProtocol):
         requests.note_head_issued(round_index)
         return None
 
+    def _group_consumption_phase(self, round_index: int) -> Optional[bool]:
+        """Serve-prefix sizing for streams containing multicast requests.
+
+        The pair-only kernel cannot express "a request spends several
+        sessions at once", so mixed streams use the same ordered-prefix
+        bookkeeping in plain Python: walk forward from the head, charging a
+        local budget table per session, and stop at the first request whose
+        sessions are not all affordable.  Cost is O(prefix), matching the
+        kernel path's amortised behaviour.
+        """
+        requests = self.requests
+        head = requests.head()
+        if head is None:
+            return True if requests.all_satisfied else None
+        requests.note_head_issued(round_index)
+        encoded = self._encode_group_requests()
+        start = requests.satisfied_count
+        budgets: Dict[EdgeKey, int] = {}
+        prefix = 0
+        for sessions in encoded[start:]:
+            needed: Dict[EdgeKey, int] = {}
+            for pair, cost in sessions:
+                needed[pair] = needed.get(pair, 0) + cost
+            affordable = True
+            for pair, amount in needed.items():
+                if pair not in budgets:
+                    budgets[pair] = self.ledger.count(pair[0], pair[1])
+                if budgets[pair] < amount:
+                    affordable = False
+                    break
+            if not affordable:
+                break
+            for pair, amount in needed.items():
+                budgets[pair] -= amount
+            prefix += 1
+        if prefix == 0:
+            return None
+        for _ in range(prefix):
+            request = requests.head()
+            requests.note_head_issued(round_index)
+            for pair, _cost in encoded[requests.satisfied_count]:
+                self.pairs_consumed += self.balancer.consume(pair[0], pair[1])
+            strategy = request.strategy or DEFAULT_GROUP_STRATEGY
+            self._fusions += fusions_required(request.pair, strategy)
+            requests.mark_head_satisfied(round_index)
+        head = requests.head()
+        if head is None:
+            return True if requests.all_satisfied else None
+        requests.note_head_issued(round_index)
+        return None
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
@@ -219,3 +316,6 @@ class PathObliviousProtocol(SwappingProtocol):
 
     def classical_overhead(self) -> Dict[str, int]:
         return self.balancer.knowledge.classical_overhead()
+
+    def fusions_performed(self) -> int:
+        return self._fusions

@@ -64,6 +64,11 @@ class ConnectionOrientedProtocol(SwappingProtocol):
     # Planned-path machinery
     # ------------------------------------------------------------------ #
     def _path_for(self, pair: tuple) -> List[NodeId]:
+        if len(pair) != 2:
+            raise ValueError(
+                f"planned protocols serve 2-party requests only; got a group of {len(pair)} "
+                f"({pair!r}) — use the path-oblivious or entity engines for multicast"
+            )
         if pair not in self._path_cache:
             path = self.topology.shortest_path(pair[0], pair[1])
             if path is None:

@@ -224,6 +224,10 @@ class ScenarioContext:
 
             def _mapper(request) -> Optional[EdgeKey]:
                 nonlocal moved
+                if len(request.pair) != 2:
+                    # Multicast groups have no single "other endpoint" to
+                    # redirect; demand drift leaves them where they are.
+                    return None
                 node_a, node_b = request.pair
                 if hotspot in (node_a, node_b):
                     return None

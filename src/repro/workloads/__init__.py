@@ -52,7 +52,7 @@ from repro.workloads.registry import (
     parse_workload_spec,
     validate_workload_spec,
 )
-from repro.workloads.slo import ClassSlo, slo_as_dict, slo_summary
+from repro.workloads.slo import ClassSlo, group_slo_summary, slo_as_dict, slo_summary
 
 __all__ = [
     "AdmissionController",
@@ -71,6 +71,7 @@ __all__ = [
     "build_workload",
     "counts_to_rounds",
     "diurnal_rates",
+    "group_slo_summary",
     "is_timed_workload",
     "mmpp_rates",
     "modulated_poisson_counts",

@@ -50,20 +50,21 @@ class AdmissionController:
         tokens, last = self._buckets.get(node, (self.burst, 0.0))
         return min(self.burst, tokens + self.rate * max(now - last, 0.0))
 
-    def admit(self, pair: Tuple[NodeId, NodeId], now: float) -> bool:
+    def admit(self, pair: Tuple[NodeId, ...], now: float) -> bool:
         """Admit (and charge) or reject the request for ``pair`` arriving at ``now``.
 
-        Charges one token at each endpoint only when *both* have one, so a
-        rejection never half-drains a bucket.
+        ``pair`` may be any group key: a multicast request binds resources at
+        all ``k`` endpoints, so one token is charged at *each* member —
+        atomically, only when every member has one, so a rejection never
+        half-drains any bucket.  The two-endpoint case is the classic pair
+        contract unchanged.
         """
-        node_a, node_b = pair
-        tokens_a = self._tokens_at(node_a, now)
-        tokens_b = self._tokens_at(node_b, now)
-        if tokens_a < 1.0 or tokens_b < 1.0:
+        tokens = [self._tokens_at(node, now) for node in pair]
+        if any(balance < 1.0 for balance in tokens):
             self.rejected_count += 1
             return False
-        self._buckets[node_a] = (tokens_a - 1.0, now)
-        self._buckets[node_b] = (tokens_b - 1.0, now)
+        for node, balance in zip(pair, tokens):
+            self._buckets[node] = (balance - 1.0, now)
         self.admitted_count += 1
         return True
 

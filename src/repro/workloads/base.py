@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.network.demand import ConsumptionRequest, RequestSequence
-from repro.network.topology import EdgeKey
+from repro.network.topology import EdgeKey, GroupKey
 
 
 @dataclass(frozen=True)
@@ -141,10 +141,13 @@ class WorkloadBuild:
     ``sequence`` workload, a
     :class:`~repro.workloads.queueing.TimedRequestSequence` otherwise);
     ``consumer_pairs`` and ``warnings`` are the result metadata the trial
-    records (effective pair count, consumer-pair shortfalls, ...).
+    records (effective pair count, consumer-pair shortfalls, ...);
+    ``consumer_groups`` holds the multicast groups (size >= 3) the workload
+    may emit requests for, empty for pair-only workloads.
     """
 
     spec: str
     requests: RequestSequence
     consumer_pairs: List[EdgeKey] = field(default_factory=list)
     warnings: Tuple[str, ...] = ()
+    consumer_groups: List[GroupKey] = field(default_factory=list)

@@ -22,9 +22,11 @@ import numpy as np
 from repro.network.demand import (
     ConsumerPairShortfallWarning,
     RequestSequence,
+    select_consumer_groups,
     select_consumer_pairs,
 )
-from repro.network.topology import EdgeKey, Topology, edge_key
+from repro.network.topology import EdgeKey, GroupKey, Topology, edge_key
+from repro.protocols.fusion import DEFAULT_GROUP_STRATEGY
 from repro.sim.rng import RandomStreams
 from repro.workloads.admission import AdmissionController
 from repro.workloads.arrivals import (
@@ -72,6 +74,30 @@ def draw_consumer_pairs(
     return pairs, tuple(str(shortfall) for shortfall in shortfalls)
 
 
+def draw_consumer_groups(
+    topology: Topology, n_groups: int, group_size: int, streams: RandomStreams
+) -> "tuple[List[GroupKey], tuple]":
+    """Multicast analogue of :func:`draw_consumer_pairs`.
+
+    Draws from the same ``"consumers"`` stream (after the pair draw, so
+    pair-only workloads consume an identical stream prefix) and captures the
+    generalized shortfall warnings the same way.
+    """
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", ConsumerPairShortfallWarning)
+        groups = select_consumer_groups(
+            topology, n_groups, streams.get("consumers"), group_size=group_size
+        )
+    shortfalls = [
+        entry.message
+        for entry in caught
+        if issubclass(entry.category, ConsumerPairShortfallWarning)
+    ]
+    for shortfall in shortfalls:
+        warnings.warn(shortfall, stacklevel=2)
+    return groups, tuple(str(shortfall) for shortfall in shortfalls)
+
+
 def build_sequence_workload(
     spec: str,
     topology: Topology,
@@ -92,6 +118,34 @@ def _admission_from(params: Dict) -> Optional[AdmissionController]:
     return AdmissionController(rate=rate, burst=float(params.get("admission_burst", 5)))
 
 
+def _group_settings(params: Dict, default_fraction: float = 0.0) -> "tuple[float, int, str]":
+    """The multicast emission knobs every timed workload shares."""
+    fraction = float(params.get("group_fraction", default_fraction))
+    size = int(params.get("group_size", 3))
+    strategy = str(params.get("group_strategy", DEFAULT_GROUP_STRATEGY))
+    return fraction, size, strategy
+
+
+def _maybe_draw_groups(
+    topology: Topology,
+    n_consumer_pairs: int,
+    params: Dict,
+    streams: RandomStreams,
+    default_fraction: float = 0.0,
+) -> "tuple[List[GroupKey], tuple]":
+    """Draw the trial's multicast groups when the spec asks for them.
+
+    Returns ``([], ())`` — touching no RNG stream — when ``group_fraction``
+    is zero, which is what keeps every pre-existing timed spec bit-identical.
+    The group draw happens *after* the pair draw on the same ``"consumers"``
+    stream, so the pair set matches the pair-only run of the same seed.
+    """
+    fraction, size, _strategy = _group_settings(params, default_fraction)
+    if fraction <= 0:
+        return [], ()
+    return draw_consumer_groups(topology, n_consumer_pairs, size, streams)
+
+
 def _assemble_timed(
     spec: str,
     arrival_rounds: np.ndarray,
@@ -99,8 +153,16 @@ def _assemble_timed(
     shortfalls: tuple,
     params: Dict,
     rng: np.random.Generator,
+    groups: Optional[List[GroupKey]] = None,
+    default_group_fraction: float = 0.0,
 ) -> WorkloadBuild:
-    """Tag arrivals with pairs and traffic classes, then queue them."""
+    """Tag arrivals with pairs/groups and traffic classes, then queue them.
+
+    Group emission draws (the per-arrival Bernoulli and group choice) happen
+    only when ``groups`` is non-empty and the fraction positive — after the
+    pair and class draws — so pair-only workloads consume exactly the
+    historical ``"workload"`` stream prefix.
+    """
     mix_name = str(params.get("mix", DEFAULT_MIX))
     mix = CLASS_MIXES[mix_name]
     class_names = sorted(mix)
@@ -109,21 +171,41 @@ def _assemble_timed(
     n = len(arrival_rounds)
     pair_choices = rng.choice(len(pairs), size=n)
     class_choices = rng.choice(len(class_names), size=n, p=probabilities)
-    requests = [
-        TimedRequest(
-            index=i,
-            pair=pairs[int(pair_choices[i])],
-            arrival_round=int(arrival_rounds[i]),
-            traffic_class=TRAFFIC_CLASSES[class_names[int(class_choices[i])]],
+    fraction, _size, strategy = _group_settings(params, default_group_fraction)
+    groups = groups or []
+    group_flags = None
+    if groups and fraction > 0 and n:
+        group_flags = rng.random(n) < fraction
+        group_choices = rng.choice(len(groups), size=n)
+    requests: List[TimedRequest] = []
+    for i in range(n):
+        if group_flags is not None and group_flags[i]:
+            target = groups[int(group_choices[i])]
+            request_strategy: Optional[str] = strategy
+        else:
+            target = pairs[int(pair_choices[i])]
+            request_strategy = None
+        requests.append(
+            TimedRequest(
+                index=i,
+                pair=target,
+                arrival_round=int(arrival_rounds[i]),
+                traffic_class=TRAFFIC_CLASSES[class_names[int(class_choices[i])]],
+                strategy=request_strategy,
+            )
         )
-        for i in range(n)
-    ]
     sequence = TimedRequestSequence(
         requests,
         policy=str(params.get("queue", "fifo")),
         admission=_admission_from(params),
     )
-    return WorkloadBuild(spec=spec, requests=sequence, consumer_pairs=pairs, warnings=shortfalls)
+    return WorkloadBuild(
+        spec=spec,
+        requests=sequence,
+        consumer_pairs=pairs,
+        warnings=shortfalls,
+        consumer_groups=list(groups),
+    )
 
 
 def _batched(arrival_rounds: np.ndarray, params: Dict, rng: np.random.Generator) -> np.ndarray:
@@ -155,12 +237,15 @@ def build_poisson_workload(
 ) -> WorkloadBuild:
     """Homogeneous Poisson arrivals (optionally with Pareto batches)."""
     pairs, shortfalls = draw_consumer_pairs(topology, n_consumer_pairs, streams)
+    groups, group_shortfalls = _maybe_draw_groups(topology, n_consumer_pairs, params, streams)
     rng = streams.get(WORKLOAD_STREAM)
     rate = float(params.get("rate", 2.0))
     horizon = _horizon_for(params, n_requests, rate)
     rounds = counts_to_rounds(poisson_counts(rate, horizon, rng))
     rounds = _batched(rounds, params, rng)[:n_requests]
-    return _assemble_timed(spec, rounds, pairs, shortfalls, params, rng)
+    return _assemble_timed(
+        spec, rounds, pairs, shortfalls + group_shortfalls, params, rng, groups=groups
+    )
 
 
 def build_bursty_workload(
@@ -173,6 +258,8 @@ def build_bursty_workload(
 ) -> WorkloadBuild:
     """Two-state MMPP arrivals: calm background punctuated by bursts."""
     pairs, shortfalls = draw_consumer_pairs(topology, n_consumer_pairs, streams)
+    groups, group_shortfalls = _maybe_draw_groups(topology, n_consumer_pairs, params, streams)
+    shortfalls = shortfalls + group_shortfalls
     rng = streams.get(WORKLOAD_STREAM)
     rate_low = float(params.get("rate_low", 0.5))
     rate_high = float(params.get("rate_high", 6.0))
@@ -185,7 +272,7 @@ def build_bursty_workload(
     )
     rounds = counts_to_rounds(modulated_poisson_counts(rates, rng))
     rounds = _batched(rounds, params, rng)[:n_requests]
-    return _assemble_timed(spec, rounds, pairs, shortfalls, params, rng)
+    return _assemble_timed(spec, rounds, pairs, shortfalls, params, rng, groups=groups)
 
 
 def build_diurnal_workload(
@@ -198,6 +285,7 @@ def build_diurnal_workload(
 ) -> WorkloadBuild:
     """Poisson arrivals under sinusoidal (day/night) rate modulation."""
     pairs, shortfalls = draw_consumer_pairs(topology, n_consumer_pairs, streams)
+    groups, group_shortfalls = _maybe_draw_groups(topology, n_consumer_pairs, params, streams)
     rng = streams.get(WORKLOAD_STREAM)
     rate = float(params.get("rate", 2.0))
     horizon = _horizon_for(params, n_requests, rate)
@@ -209,7 +297,53 @@ def build_diurnal_workload(
     )
     rounds = counts_to_rounds(modulated_poisson_counts(rates, rng))
     rounds = _batched(rounds, params, rng)[:n_requests]
-    return _assemble_timed(spec, rounds, pairs, shortfalls, params, rng)
+    return _assemble_timed(
+        spec, rounds, pairs, shortfalls + group_shortfalls, params, rng, groups=groups
+    )
+
+
+#: ``group_fraction`` used by the ``multicast`` workload when the spec does
+#: not set one: half the arrivals are GHZ group requests.
+MULTICAST_DEFAULT_FRACTION = 0.5
+
+
+def build_multicast_workload(
+    spec: str,
+    topology: Topology,
+    n_consumer_pairs: int,
+    n_requests: int,
+    streams: RandomStreams,
+    params: Dict,
+) -> WorkloadBuild:
+    """Poisson arrivals mixing pair and GHZ-group (multicast) requests.
+
+    Like ``poisson``, but ``group_fraction`` defaults to
+    :data:`MULTICAST_DEFAULT_FRACTION` instead of zero, so the spec
+    ``"multicast"`` alone already exercises multicast serving: each arrival
+    is, with that probability, a request for one of the trial's consumer
+    groups (size ``group_size``, served with ``group_strategy``) instead of
+    a consumer pair.
+    """
+    pairs, shortfalls = draw_consumer_pairs(topology, n_consumer_pairs, streams)
+    groups, group_shortfalls = _maybe_draw_groups(
+        topology, n_consumer_pairs, params, streams,
+        default_fraction=MULTICAST_DEFAULT_FRACTION,
+    )
+    rng = streams.get(WORKLOAD_STREAM)
+    rate = float(params.get("rate", 2.0))
+    horizon = _horizon_for(params, n_requests, rate)
+    rounds = counts_to_rounds(poisson_counts(rate, horizon, rng))
+    rounds = _batched(rounds, params, rng)[:n_requests]
+    return _assemble_timed(
+        spec,
+        rounds,
+        pairs,
+        shortfalls + group_shortfalls,
+        params,
+        rng,
+        groups=groups,
+        default_group_fraction=MULTICAST_DEFAULT_FRACTION,
+    )
 
 
 def build_replay_workload(

@@ -28,7 +28,7 @@ import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.network.demand import RequestSequence
-from repro.network.topology import edge_key
+from repro.network.topology import edge_key, group_key
 from repro.workloads.admission import AdmissionController
 from repro.workloads.base import TimedRequest
 
@@ -189,7 +189,11 @@ class TimedRequestSequence(RequestSequence):
             replacement = mapper(request)
             if replacement is None or replacement == request.pair:
                 continue
-            request.pair = edge_key(*replacement)
+            request.pair = (
+                edge_key(*replacement)
+                if len(replacement) == 2
+                else group_key(*replacement)
+            )
             remapped += 1
         return remapped
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Tuple, Union
 
 from repro.network.topology import Topology
+from repro.protocols.fusion import GROUP_STRATEGIES
 from repro.sim.rng import RandomStreams
 from repro.workloads import models
 from repro.workloads.base import CLASS_MIXES, WorkloadBuild
@@ -32,7 +33,10 @@ ParamValue = Union[int, float, bool, str]
 #: generation.
 DEFAULT_WORKLOAD = "sequence"
 
-#: Parameters every timed (arrival-model) workload shares.
+#: Parameters every timed (arrival-model) workload shares.  The three
+#: ``group_*`` knobs control multicast emission: ``group_fraction`` of
+#: arrivals (default 0) target a GHZ group of ``group_size`` members served
+#: with ``group_strategy``.
 _COMMON_TIMED_PARAMS: Tuple[str, ...] = (
     "mix",
     "queue",
@@ -41,6 +45,9 @@ _COMMON_TIMED_PARAMS: Tuple[str, ...] = (
     "batch_alpha",
     "batch_cap",
     "horizon",
+    "group_fraction",
+    "group_size",
+    "group_strategy",
 )
 
 #: Allowed parameters per workload name.
@@ -49,6 +56,7 @@ WORKLOAD_PARAMS: Dict[str, Tuple[str, ...]] = {
     "poisson": ("rate",) + _COMMON_TIMED_PARAMS,
     "bursty": ("rate_low", "rate_high", "mean_calm", "mean_burst") + _COMMON_TIMED_PARAMS,
     "diurnal": ("rate", "amplitude", "period") + _COMMON_TIMED_PARAMS,
+    "multicast": ("rate",) + _COMMON_TIMED_PARAMS,
     "replay": ("file", "queue", "admission_rate", "admission_burst"),
 }
 
@@ -57,7 +65,7 @@ WORKLOAD_NAMES: Tuple[str, ...] = tuple(sorted(WORKLOAD_PARAMS))
 
 #: Parameters whose values stay strings (everything else must parse as a
 #: number or bool, as in the scenario mini-language).
-_STRING_PARAMS: Tuple[str, ...] = ("mix", "queue", "file")
+_STRING_PARAMS: Tuple[str, ...] = ("mix", "queue", "file", "group_strategy")
 
 
 def _parse_value(key: str, raw: str) -> ParamValue:
@@ -127,6 +135,17 @@ def _check_semantics(name: str, params: Dict[str, ParamValue]) -> None:
         )
     if name == "replay" and "file" not in params:
         raise ValueError("the replay workload needs a file=PATH parameter")
+    strategy = params.get("group_strategy")
+    if strategy is not None and strategy not in GROUP_STRATEGIES:
+        raise ValueError(
+            f"unknown group strategy {strategy!r}; choose from {', '.join(GROUP_STRATEGIES)}"
+        )
+    group_size = params.get("group_size")
+    if group_size is not None and (not isinstance(group_size, int) or group_size < 2):
+        raise ValueError(f"group_size must be an integer >= 2, got {group_size!r}")
+    fraction = params.get("group_fraction")
+    if fraction is not None and not 0.0 <= float(fraction) <= 1.0:
+        raise ValueError(f"group_fraction must be within [0, 1], got {fraction!r}")
 
 
 def validate_workload_spec(spec: str) -> str:
@@ -142,6 +161,18 @@ def is_timed_workload(spec: str) -> bool:
     """Whether ``spec`` produces an arrival-timed (SLO-tracked) stream."""
     name, _ = parse_workload_spec(spec)
     return name != DEFAULT_WORKLOAD
+
+
+def draws_groups(spec: str) -> bool:
+    """Whether ``spec`` can emit group (k >= 3) requests.
+
+    Topology-free, so callers can prune group-incapable protocols (the
+    planned baselines serve 2-party requests only) at config time instead
+    of hitting the protocols' guard mid-trial.
+    """
+    name, params = parse_workload_spec(spec)
+    default = models.MULTICAST_DEFAULT_FRACTION if name == "multicast" else 0.0
+    return float(params.get("group_fraction", default)) > 0.0
 
 
 def build_workload(
@@ -169,6 +200,8 @@ def build_workload(
         builder = models.build_bursty_workload
     elif name == "diurnal":
         builder = models.build_diurnal_workload
+    elif name == "multicast":
+        builder = models.build_multicast_workload
     elif name == "replay":
         builder = models.build_replay_workload
     else:  # pragma: no cover - WORKLOAD_PARAMS and this chain must stay in sync

@@ -113,6 +113,30 @@ def slo_summary(
     return summary
 
 
+def group_slo_summary(
+    requests: Iterable[TimedRequest], horizon: Optional[float] = None
+) -> Dict[str, ClassSlo]:
+    """SLO rows aggregated by *group size* instead of traffic class.
+
+    Multicast workloads mix 2-party and k-party requests; folding them into
+    one latency histogram hides that group requests (which need several
+    sessions at once) systematically wait longer.  Rows are keyed
+    ``"size-2"``, ``"size-3"``, ... by each request's group-key size, plus
+    the usual ``total`` aggregate, and carry the same p50/p95/p99 latency
+    and miss-rate fields as the per-class rows.
+    """
+    everything = list(requests)
+    by_size: Dict[str, List[TimedRequest]] = {}
+    for request in everything:
+        by_size.setdefault(f"size-{len(request.pair)}", []).append(request)
+    summary = {
+        name: _class_row(name, members, horizon)
+        for name, members in sorted(by_size.items())
+    }
+    summary[TOTAL_KEY] = _class_row(TOTAL_KEY, everything, horizon)
+    return summary
+
+
 def slo_as_dict(summary: Dict[str, ClassSlo]) -> Dict[str, Dict[str, float]]:
     """The summary as plain nested dicts (picklable, JSON-ready)."""
     return {name: asdict(row) for name, row in summary.items()}

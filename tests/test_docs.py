@@ -191,6 +191,23 @@ def test_every_queue_policy_and_class_is_documented():
         assert not missing, f"{kind} names missing from the docs: {missing}"
 
 
+def test_every_group_strategy_is_documented():
+    """Registry gate: every GHZ group-serving strategy a workload spec can
+    name (``group_strategy=``) must appear in the docs as a backticked
+    token, so the strategy surface can never grow undocumented."""
+    from repro.protocols.fusion import DEFAULT_GROUP_STRATEGY, GROUP_STRATEGIES
+
+    text = _doc_text()
+    tokens = set(re.findall(r"`([a-z-]+)`", text))
+    missing = [name for name in GROUP_STRATEGIES if name not in tokens]
+    assert not missing, f"group strategy names missing from the docs: {missing}"
+    assert DEFAULT_GROUP_STRATEGY in tokens
+    # The knobs that select them must be shown as `key=` tokens too.
+    documented_params = set(re.findall(r"`([a-z_]+)=", text))
+    for param in ("group_fraction", "group_size", "group_strategy"):
+        assert param in documented_params, f"`{param}=` missing from the docs"
+
+
 def test_every_kernel_and_backend_is_documented():
     """Registry gate: every kernel in the perf registry and every value
     ``REPRO_KERNELS`` accepts must appear in the docs as a backticked

@@ -47,6 +47,7 @@ SMALL_PARAMS = {
     "scaling": dict(sizes=(36,), engines=("incremental",), topologies=("grid",)),
     "resilience": dict(smoke=True, n_requests=10, balancers=("naive",)),
     "traffic": dict(smoke=True, n_requests=10),
+    "multicast": dict(smoke=True, n_requests=10),
 }
 
 
@@ -56,7 +57,7 @@ def small_results():
 
 
 class TestRegistry:
-    def test_all_nine_experiments_registered(self):
+    def test_all_ten_experiments_registered(self):
         assert experiment_names() == (
             "ablations",
             "classical",
@@ -64,6 +65,7 @@ class TestRegistry:
             "figure4",
             "figure5",
             "lp",
+            "multicast",
             "resilience",
             "scaling",
             "traffic",

@@ -227,3 +227,75 @@ class TestOtherExperiments:
     def test_classical_overhead_validation(self):
         with pytest.raises(ValueError):
             run_classical_overhead(rounds=0)
+
+
+class TestMulticastExperiment:
+    def _small(self, **overrides):
+        from repro.experiments.multicast import run_multicast
+
+        params = dict(
+            group_sizes=(2, 3),
+            topology="cycle",
+            n_nodes=9,
+            n_requests=10,
+            n_consumer_pairs=5,
+            max_rounds=3000,
+        )
+        params.update(overrides)
+        return run_multicast(**params)
+
+    def test_size2_rows_identical_across_strategies(self):
+        """Group size 2 is the degenerate sanity row: both strategies spend
+        exactly one Bell-pair session per request, so every measured number
+        must coincide."""
+        result = self._small()
+        rows = {row.strategy: row for row in result.rows if row.group_size == 2}
+        assert set(rows) == {"shared", "independent-sessions"}
+        shared, independent = rows["shared"], rows["independent-sessions"]
+        assert shared.satisfied == independent.satisfied
+        assert shared.rounds == independent.rounds
+        assert shared.swaps == independent.swaps
+        assert shared.pairs_consumed == independent.pairs_consumed
+        assert shared.fusions == independent.fusions == 0
+        assert shared.jain_fairness == pytest.approx(independent.jain_fairness)
+
+    def test_shared_strategy_fuses_and_spends_fewer_pairs(self):
+        result = self._small()
+        rows = {row.strategy: row for row in result.rows if row.group_size == 3}
+        shared, independent = rows["shared"], rows["independent-sessions"]
+        assert shared.fusions > 0
+        assert independent.fusions == 0
+        assert shared.pairs_consumed < independent.pairs_consumed
+
+    def test_smoke_shrinks_the_sweep(self):
+        result = self._small(smoke=True)
+        assert result.group_sizes == (3,)
+        assert len(result.rows) == 2
+        assert all(row.effective_groups > 0 for row in result.rows)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            self._small(group_sizes=(1, 3))
+        with pytest.raises(ValueError):
+            self._small(strategies=("telepathy",))
+        with pytest.raises(ValueError):
+            self._small(group_fraction=1.5)
+
+    def test_cache_key_separates_group_specs(self):
+        """Regression: group workload parameters enter the cache digest, so
+        a multicast cell can never collide with a pair cell or with another
+        group size/strategy."""
+        from repro.runtime.cache import config_digest
+
+        base = ExperimentConfig(topology="cycle", n_nodes=9, seed=1)
+        variants = [
+            base,
+            base.with_(workload="poisson:rate=2"),
+            base.with_(workload="multicast:rate=2"),
+            base.with_(workload="multicast:group_size=3,rate=2"),
+            base.with_(workload="multicast:group_size=4,rate=2"),
+            base.with_(workload="multicast:group_size=4,group_strategy=independent-sessions,rate=2"),
+            base.with_(workload="poisson:group_fraction=0.5,rate=2"),
+        ]
+        digests = {config_digest(config, version="pinned") for config in variants}
+        assert len(digests) == len(variants)

@@ -26,7 +26,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.network.demand import RequestSequence, select_consumer_pairs
+from repro.network.demand import (
+    ConsumptionRequest,
+    RequestSequence,
+    select_consumer_groups,
+    select_consumer_pairs,
+)
 from repro.network.topologies import cycle_topology
 from repro.perf.kernels import KERNELS_ENV, available_backends
 from repro.protocols.oblivious import PathObliviousProtocol
@@ -48,6 +53,13 @@ CHURN_SPEC = "link-churn:start=3,period=8,downtime=5,count=3,drop_pairs=true"
 CASES = {
     "static_cycle.jsonl": "none",
     "churn_cycle.jsonl": CHURN_SPEC,
+}
+
+#: Multicast goldens: the same static topology serving a mixed pair/group
+#: request stream, one golden per balancer engine.
+MULTICAST_CASES = {
+    "multicast_naive.jsonl": "naive",
+    "multicast_incremental.jsonl": "incremental",
 }
 
 
@@ -72,9 +84,64 @@ def record_canonical_trace(scenario_spec: str) -> str:
     return trace.to_jsonl() + "\n"
 
 
-@pytest.mark.parametrize("filename,spec", sorted(CASES.items()))
-def test_replay_matches_golden_trace(filename, spec):
-    fresh = record_canonical_trace(spec)
+def record_multicast_trace(engine: str) -> str:
+    """Run the canonical multicast workload under ``engine`` and return its trace.
+
+    The stream deliberately mixes plain pairs with GHZ groups of sizes 3 and
+    4 under both serving strategies, so the golden pins down the group
+    consumption phase, the fusion accounting, and the group-keyed ledger for
+    each balancer engine.
+    """
+    streams = RandomStreams(GOLDEN_SEED)
+    topology = cycle_topology(GOLDEN_NODES)
+    rng = streams.get("consumers")
+    pairs = select_consumer_pairs(topology, 3, rng)
+    triples = select_consumer_groups(topology, 2, rng, group_size=3)
+    quads = select_consumer_groups(topology, 1, rng, group_size=4)
+    targets = [
+        (pairs[0], None),
+        (triples[0], "shared"),
+        (pairs[1], None),
+        (triples[1], "independent-sessions"),
+        (quads[0], "shared"),
+        (pairs[2], None),
+        (triples[0], "independent-sessions"),
+        (quads[0], "independent-sessions"),
+        (pairs[0], None),
+        (triples[1], "shared"),
+    ]
+    requests = RequestSequence(
+        [
+            ConsumptionRequest(index=index, pair=group, strategy=strategy)
+            for index, (group, strategy) in enumerate(targets)
+        ]
+    )
+    trace = TraceRecorder()
+    protocol = PathObliviousProtocol(
+        topology=topology,
+        requests=requests,
+        streams=streams,
+        max_rounds=400,
+        balancer_engine=engine,
+        trace=trace,
+    )
+    protocol.run()
+    return trace.to_jsonl() + "\n"
+
+
+def _record_for(filename: str) -> str:
+    """Record the trace a golden file pins, for either case table."""
+    if filename in MULTICAST_CASES:
+        return record_multicast_trace(MULTICAST_CASES[filename])
+    return record_canonical_trace(CASES[filename])
+
+
+ALL_GOLDEN_FILES = sorted(CASES) + sorted(MULTICAST_CASES)
+
+
+@pytest.mark.parametrize("filename", ALL_GOLDEN_FILES)
+def test_replay_matches_golden_trace(filename):
+    fresh = _record_for(filename)
     path = GOLDEN_DIR / filename
     if os.environ.get("REPRO_UPDATE_GOLDEN"):
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -100,9 +167,9 @@ def test_replay_matches_golden_trace(filename, spec):
 
 
 @pytest.mark.parametrize("backend", available_backends())
-@pytest.mark.parametrize("filename,spec", sorted(CASES.items()))
+@pytest.mark.parametrize("filename", ALL_GOLDEN_FILES)
 def test_replay_is_byte_identical_under_every_kernel_backend(
-    filename, spec, backend, monkeypatch
+    filename, backend, monkeypatch
 ):
     """The accelerated kernels must not move a single byte of the goldens.
 
@@ -114,13 +181,13 @@ def test_replay_is_byte_identical_under_every_kernel_backend(
     if not path.is_file():
         pytest.skip("golden trace not recorded yet")
     monkeypatch.setenv(KERNELS_ENV, backend)
-    assert record_canonical_trace(spec) == path.read_text(encoding="utf-8"), (
+    assert _record_for(filename) == path.read_text(encoding="utf-8"), (
         f"{filename} diverges under REPRO_KERNELS={backend}"
     )
 
 
-@pytest.mark.parametrize("filename,spec", sorted(CASES.items()))
-def test_golden_traces_are_valid_jsonl(filename, spec):
+@pytest.mark.parametrize("filename", ALL_GOLDEN_FILES)
+def test_golden_traces_are_valid_jsonl(filename):
     """Every golden line must parse as JSON with a time and a kind."""
     path = GOLDEN_DIR / filename
     if not path.is_file():
@@ -142,3 +209,14 @@ def test_churn_trace_contains_scenario_events():
     assert "scenario.link-failure" in kinds
     assert "scenario.link-repair" in kinds
     assert "round.summary" in kinds
+
+
+def test_multicast_replay_is_deterministic():
+    """The multicast recorder is reproducible under both balancer engines."""
+    for engine in sorted(set(MULTICAST_CASES.values())):
+        assert record_multicast_trace(engine) == record_multicast_trace(engine)
+
+
+def test_multicast_engines_agree():
+    """Naive and incremental engines serve the mixed group stream identically."""
+    assert record_multicast_trace("naive") == record_multicast_trace("incremental")

@@ -14,6 +14,7 @@ from repro.network.demand import (
     RequestSequence,
     gravity_demand,
     hotspot_demand,
+    select_consumer_groups,
     select_consumer_pairs,
     uniform_demand,
 )
@@ -93,6 +94,72 @@ class TestSelectConsumerPairs:
     def test_rejects_non_positive(self, small_cycle, rng):
         with pytest.raises(ValueError):
             select_consumer_pairs(small_cycle, 0, rng)
+
+
+class TestSelectConsumerGroups:
+    def test_count_uniqueness_and_size(self, small_cycle, rng):
+        groups = select_consumer_groups(small_cycle, 5, rng, group_size=3)
+        assert len(groups) == 5
+        assert len(set(groups)) == 5
+        assert all(len(group) == 3 for group in groups)
+        assert all(len(set(group)) == 3 for group in groups)
+
+    def test_size2_delegates_to_pair_draw(self, small_cycle):
+        pairs = select_consumer_pairs(small_cycle, 5, np.random.default_rng(9))
+        groups = select_consumer_groups(small_cycle, 5, np.random.default_rng(9), group_size=2)
+        assert groups == pairs
+
+    def test_shortfall_warning_carries_group_size_and_topology(self, small_cycle, rng):
+        with pytest.warns(ConsumerPairShortfallWarning) as caught:
+            groups = select_consumer_groups(small_cycle, 1000, rng, group_size=3)
+        assert len(groups) == 20  # C(6, 3)
+        warning = caught[0].message
+        assert warning.requested == 1000
+        assert warning.available == 20
+        assert warning.group_size == 3
+        assert warning.topology_name == small_cycle.name
+        assert "size 3" in str(warning)
+        assert small_cycle.name in str(warning)
+
+    def test_exact_candidate_count_does_not_warn(self, small_cycle, rng):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ConsumerPairShortfallWarning)
+            groups = select_consumer_groups(small_cycle, 20, rng, group_size=3)
+        assert len(groups) == 20
+
+    def test_deterministic_for_seed(self, small_cycle):
+        a = select_consumer_groups(small_cycle, 5, np.random.default_rng(9), group_size=3)
+        b = select_consumer_groups(small_cycle, 5, np.random.default_rng(9), group_size=3)
+        assert a == b
+
+    def test_group_shortfall_recorded_in_trial_metadata(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_trial
+
+        config = ExperimentConfig(
+            topology="cycle",
+            n_nodes=5,
+            n_requests=6,
+            n_consumer_pairs=35,
+            seed=1,
+            workload="multicast:rate=2",
+            max_rounds=5000,
+        )
+        with pytest.warns(ConsumerPairShortfallWarning):
+            outcome = run_trial(config)
+        assert outcome.effective_consumer_pairs == 10  # C(5, 2)
+        assert outcome.effective_consumer_groups == 10  # C(5, 3)
+        assert any("size 3" in warning for warning in outcome.workload_warnings)
+
+    def test_pair_only_trials_leave_group_count_unset(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import run_trial
+
+        config = ExperimentConfig(
+            topology="cycle", n_nodes=9, n_requests=6, n_consumer_pairs=5, seed=1
+        )
+        outcome = run_trial(config)
+        assert outcome.effective_consumer_groups is None
 
 
 class TestRequestSequence:

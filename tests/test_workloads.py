@@ -35,6 +35,7 @@ from repro.workloads import (
     mmpp_rates,
     modulated_poisson_counts,
     pareto_batch_sizes,
+    group_slo_summary,
     parse_workload_spec,
     poisson_counts,
     slo_summary,
@@ -370,6 +371,55 @@ class TestSloSummary:
         assert not request.missed_deadline
         summary = slo_summary([request], horizon=100)
         assert summary["premium"].deadline_misses == 0
+
+
+class TestGroupSloSummary:
+    def _served(self, index, pair, latency):
+        request = _timed(index, pair, 0)
+        request.admitted = True
+        request.satisfied_round = latency
+        return request
+
+    def test_percentiles_bucketed_by_group_size(self):
+        """p50/p95/p99 aggregate per group-key size over mixed traffic."""
+        pair_latencies = [1, 2, 3, 4, 5, 6, 7, 8, 9, 100]
+        triple_latencies = [10, 20, 30, 40]
+        requests = [
+            self._served(i, (0, 1), latency) for i, latency in enumerate(pair_latencies)
+        ] + [
+            self._served(100 + i, (0, 1, 2), latency)
+            for i, latency in enumerate(triple_latencies)
+        ]
+        summary = group_slo_summary(requests)
+        assert set(summary) == {"size-2", "size-3", "total"}
+        pairs = summary["size-2"]
+        assert pairs.arrivals == 10
+        assert pairs.satisfied == 10
+        assert pairs.p50_latency == pytest.approx(np.quantile(pair_latencies, 0.50))
+        assert pairs.p95_latency == pytest.approx(np.quantile(pair_latencies, 0.95))
+        assert pairs.p99_latency == pytest.approx(np.quantile(pair_latencies, 0.99))
+        triples = summary["size-3"]
+        assert triples.arrivals == 4
+        assert triples.p50_latency == pytest.approx(np.quantile(triple_latencies, 0.50))
+        total = summary["total"]
+        assert total.arrivals == 14
+        assert total.p99_latency >= triples.p99_latency or math.isfinite(total.p99_latency)
+
+    def test_group_rows_carry_rejections_and_misses(self):
+        admitted = self._served(0, (0, 1, 2, 3), 5)
+        rejected = _timed(1, (0, 1, 2, 3), 0)
+        rejected.admitted = False
+        summary = group_slo_summary([admitted, rejected])
+        quad = summary["size-4"]
+        assert quad.arrivals == 2
+        assert quad.rejected == 1
+        assert quad.rejection_rate == pytest.approx(0.5)
+
+    def test_pair_only_traffic_degenerates_to_one_size_row(self):
+        requests = [self._served(i, (0, 1), i + 1) for i in range(5)]
+        summary = group_slo_summary(requests)
+        assert set(summary) == {"size-2", "total"}
+        assert summary["size-2"].arrivals == summary["total"].arrivals
 
 
 # ---------------------------------------------------------------------- #
@@ -733,6 +783,27 @@ class TestTrafficExperiment:
         report = result.format_report()
         assert "SLO attainment" in report
         assert "p95" in report
+
+    def test_group_workload_prunes_planned_protocols(self):
+        # The planned baselines serve 2-party requests only: a
+        # group-emitting workload must drop them from the default
+        # protocol set instead of tripping their guard mid-trial.
+        result = run_traffic(
+            workloads=["poisson:rate=2,group_fraction=0.5,group_size=3"],
+            n_nodes=9,
+            n_requests=8,
+            n_consumer_pairs=5,
+        )
+        assert {row.protocol for row in result.rows} == {"path-oblivious"}
+
+    def test_group_workload_with_explicit_planned_protocol_is_a_config_error(self):
+        with pytest.raises(ValueError, match="2-party"):
+            run_traffic(
+                workloads=["poisson:rate=2,group_fraction=0.5"],
+                protocols=["planned-connectionless"],
+                n_nodes=9,
+                n_requests=8,
+            )
 
 
 # ---------------------------------------------------------------------- #
