@@ -38,9 +38,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
     experiment.name: experiment for experiment in iter_experiments()
 }
 
-#: Tool subcommands that are not experiments: the profiling harness and the
-#: benchmark-trajectory emitter (see :mod:`repro.perf`).
-TOOL_COMMANDS = ("profile", "bench")
+#: Tool subcommands that are not experiments: the profiling harness, the
+#: benchmark-trajectory emitter (see :mod:`repro.perf`), and service mode --
+#: the persistent experiment daemon plus its submission client
+#: (see :mod:`repro.serve`).
+TOOL_COMMANDS = ("profile", "bench", "serve", "submit")
 
 
 def _positive_int(value: str) -> int:
@@ -150,7 +152,7 @@ def _add_tool_subcommands(subparsers) -> None:
 
     bench = subparsers.add_parser(
         "bench",
-        help="emit the benchmark trajectory (median-of-k wall times, BENCH_7.json)",
+        help="emit the benchmark trajectory (median-of-k wall times, BENCH_9.json)",
         description="Re-run the benchmarks/ workloads deterministically and emit "
         "the BENCH trajectory document: per-benchmark median-of-k wall times, "
         "kernel speedups vs the pure-Python references, machine fingerprint and "
@@ -160,7 +162,7 @@ def _add_tool_subcommands(subparsers) -> None:
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized inputs (the checked-in BENCH_7.json uses full sizes)",
+        help="CI-sized inputs (the checked-in BENCH_9.json uses full sizes)",
     )
     bench.add_argument(
         "--repeats",
@@ -177,6 +179,139 @@ def _add_tool_subcommands(subparsers) -> None:
         help="untimed warmup calls before the repetitions (default: 1)",
     )
     _add_payload_output_flags(bench)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the persistent experiment daemon (newline-delimited JSON over a socket)",
+        description="Start the long-running experiment service: accepts submit/"
+        "status/result/cancel/list/health/stats requests over a Unix or TCP "
+        "socket, executes jobs through a priority queue with token-bucket "
+        "admission, streams progress to subscribers, and shares one result "
+        "cache across all clients.  SIGTERM drains running jobs and exits 0.",
+        allow_abbrev=False,
+    )
+    endpoint = serve.add_mutually_exclusive_group(required=True)
+    endpoint.add_argument(
+        "--socket", metavar="PATH", help="listen on a Unix domain socket at PATH"
+    )
+    endpoint.add_argument(
+        "--port",
+        type=int,
+        metavar="N",
+        help="listen on TCP port N (0 picks a free port, printed at startup)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="TCP bind address for --port (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="worker threads executing jobs concurrently (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="maximum pending submissions before 429 rejections (default: 64)",
+    )
+    serve.add_argument(
+        "--admission-rate",
+        type=float,
+        default=10.0,
+        metavar="R",
+        help="sustained submissions per second allowed per client (default: 10)",
+    )
+    serve.add_argument(
+        "--admission-burst",
+        type=float,
+        default=20.0,
+        metavar="B",
+        help="instantaneous submission burst absorbed per client (default: 20)",
+    )
+    serve.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per job in seconds, checked between trials "
+        "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--job-retries",
+        type=int,
+        default=1,
+        metavar="K",
+        help="re-attempts per crashed job before it parks as an error (default: 1)",
+    )
+    serve.add_argument(
+        "--cache",
+        action="store_true",
+        help="share the on-disk trial result cache across jobs and clients",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=argparse.SUPPRESS,
+        metavar="DIR",
+        help="trial-cache directory (implies --cache; default: $REPRO_CACHE_DIR "
+        "or ~/.cache/repro-quantum)",
+    )
+    serve.add_argument(
+        "--stats-file",
+        default=None,
+        metavar="FILE",
+        help="flush the final stats snapshot to FILE on graceful shutdown",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit an experiment to a running serve daemon and print its result",
+        description="Submit one experiment to a `repro serve` daemon.  The "
+        "experiment's own flags follow its name exactly as in one-shot mode "
+        "(e.g. `repro submit figure4 --smoke --connect /tmp/repro.sock`); "
+        "results are bit-identical to a local run but shared through the "
+        "daemon's cache.",
+        allow_abbrev=False,
+    )
+    submit.add_argument("target", metavar="experiment", help="registered experiment to submit")
+    submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="ADDR",
+        help="daemon address: a Unix socket path or host:port",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="P",
+        help="queue priority (higher runs first; default: 0)",
+    )
+    submit.add_argument(
+        "--client",
+        default=None,
+        metavar="NAME",
+        help="client name for the daemon's per-client admission buckets "
+        "(default: the connection id)",
+    )
+    submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="print per-trial progress events to stderr while the job runs",
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up waiting for the result after S seconds (default: wait forever)",
+    )
+    _add_output_flags(submit)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,10 +406,148 @@ def _deliver_payload(
         print(text)
 
 
-def _run_tool(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Dispatch the non-experiment tool subcommands (``profile``, ``bench``)."""
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the experiment daemon until SIGTERM/SIGINT drains it."""
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+
+    cache_dir = getattr(args, "cache_dir", None)
+    cache = ResultCache(cache_dir) if (args.cache or cache_dir) else None
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        job_timeout=args.job_timeout,
+        retries=args.job_retries,
+        cache=cache,
+        stats_file=args.stats_file,
+    )
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _signum, _frame: stop.set())
+    daemon.start()
+    print(
+        f"repro serve: listening on {daemon.address} "
+        f"({args.workers} worker(s), queue depth {args.queue_depth}, "
+        f"trial cache {'off' if cache is None else 'on'}); SIGTERM drains",
+        flush=True,
+    )
+    while not stop.wait(0.2):
+        pass
+    snapshot = daemon.shutdown()
+    print(
+        "repro serve: drained; final stats: "
+        + json.dumps(snapshot, sort_keys=True, default=repr),
+        flush=True,
+    )
+    return 0
+
+
+def _render_served_payload(payload: Dict[str, Any], format: str) -> str:
+    """Render a daemon result payload in the uniform output formats."""
+    if format == "json":
+        return json.dumps(payload, indent=2, sort_keys=False)
+    from repro.analysis.reporting import format_table, render_csv
+
+    if format == "csv":
+        return render_csv(payload["columns"], payload["rows"])
+    return format_table(
+        payload["columns"],
+        payload["rows"],
+        title=f"{payload['experiment']} (served result)",
+    )
+
+
+def _run_submit(
+    args: argparse.Namespace, extras: List[str], parser: argparse.ArgumentParser
+) -> int:
+    """Submit one experiment to a running daemon and deliver its result."""
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        experiment = get_experiment(args.target)
+    except KeyError:
+        parser.error(
+            f"submit: unknown experiment {args.target!r} "
+            f"(run 'repro --list' to see the registered experiments)"
+        )
+    spec_parser = argparse.ArgumentParser(
+        prog=f"{parser.prog} submit {args.target}", allow_abbrev=False
+    )
+    for spec in experiment.cli_specs():
+        spec.add_to_parser(spec_parser)
+    overrides = spec_parser.parse_args(extras)
+    params = {spec.name: getattr(overrides, spec.dest) for spec in experiment.cli_specs()}
+
+    try:
+        client = ServeClient(args.connect, client=args.client)
+    except (OSError, ValueError) as error:
+        parser.error(f"submit: cannot reach serve daemon at {args.connect}: {error}")
+    with client:
+        try:
+            submitted = client.submit(
+                args.target, params, priority=args.priority, stream=args.stream
+            )
+            if args.stream and submitted["state"] != "done":
+                for event in client.events():
+                    if event["event"] == "progress":
+                        print(
+                            f"progress {submitted['job']}: "
+                            f"{event['completed']}/{event['total']} trial(s) "
+                            f"({event['cached_trials']} cached)",
+                            file=sys.stderr,
+                        )
+            response = client.result(
+                submitted["job"], wait=True, timeout=args.wait_timeout
+            )
+        except ServeError as error:
+            hint = (
+                f" (retry in {error.retry_after:.2f}s)"
+                if error.retry_after is not None
+                else ""
+            )
+            print(
+                f"repro submit: {error.kind} ({error.code}): {error}{hint}",
+                file=sys.stderr,
+            )
+            return 1
+        except ConnectionError as error:
+            print(f"repro submit: {error}", file=sys.stderr)
+            return 1
+    payload = response["result"]
+    rendered = _render_served_payload(payload, args.format)
+    if args.output in (None, "-"):
+        print(rendered)
+        return 0
+    target_path = Path(args.output)
+    if target_path.exists() and not args.force:
+        parser.error(f"--output: {target_path} already exists (pass --force to overwrite)")
+    target_path.write_text(
+        rendered if rendered.endswith("\n") else rendered + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.format} result to {target_path}")
+    return 0
+
+
+def _run_tool(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    extras: Optional[List[str]] = None,
+) -> int:
+    """Dispatch the non-experiment tool subcommands (``profile``, ``bench``,
+    ``serve``, ``submit``)."""
     # Imported on demand: the tools pull in the experiment registry and the
     # benchmark workloads, which plain experiment runs never need.
+    if args.experiment == "serve":
+        return _run_serve(args, parser)
+    if args.experiment == "submit":
+        return _run_submit(args, extras or [], parser)
     if args.experiment == "profile":
         from repro.perf import profiler
 
@@ -298,7 +571,9 @@ def _run_tool(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args, extras = parser.parse_known_args(argv)
-    if extras:
+    if extras and args.experiment != "submit":
+        # `repro submit <experiment> ...` keeps its extras: they are the
+        # target experiment's own flags, parsed against its ParamSpec table.
         if args.experiment is not None:
             parser.error(
                 f"unknown flag(s) for the '{args.experiment}' experiment: "
@@ -316,7 +591,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_listing()
         return 0
     if args.experiment in TOOL_COMMANDS:
-        return _run_tool(args, parser)
+        return _run_tool(args, parser, extras)
 
     experiment = get_experiment(args.experiment)
     params = {spec.name: getattr(args, spec.dest) for spec in experiment.cli_specs()}

@@ -155,9 +155,21 @@ class Figure4Experiment(Experiment):
         ),
         ParamSpec("n_consumer_pairs", int, 35, "consumer pairs drawn per trial", cli=False),
         ParamSpec("topologies", tuple, FIGURE4_TOPOLOGIES, "topology families to sweep", cli=False),
+        ParamSpec(
+            "smoke",
+            bool,
+            False,
+            "shrink to the CI smoke point (9 nodes, 6 requests, D=1) -- the "
+            "standard quick probe for serve and CI pipelines",
+            is_flag=True,
+        ),
     )
 
     def normalize(self, params):
+        if params["smoke"]:
+            params["n_nodes"] = 9
+            params["n_requests"] = 6
+            params["distillation_values"] = (1.0,)
         params["seeds"] = resolve_trial_seeds(params["seeds"], params["master_seed"])
         if not params["distillation_values"]:
             params["distillation_values"] = None  # bare --distillation means "use the preset"

@@ -5,14 +5,16 @@ accelerated kernels against their pure-Python references, the vectorized
 Werner batch algebra, the vectorized arrival sampling, the incremental
 balancer's convergence (through the group-keyed notification channel and
 rewired to the historical pair channel, so the group layer's overhead on
-pair workloads stays measured), and a quick figure-4 sweep — in a
-deterministic quick mode, and emits one JSON document: per-benchmark
-median-of-k wall times (see :mod:`repro.perf.timing`), the machine
-fingerprint, and the git revision.  The checked-in snapshot lives at
-``BENCH_7.json`` in the repo root (``BENCH_6.json`` is the prior issue's
-trajectory, kept for history), regenerated with::
+pair workloads stays measured), a quick figure-4 sweep, and the serve
+daemon's submit-to-result roundtrip (cold vs answered from the shared
+result memo) — in a deterministic quick mode, and emits one JSON
+document: per-benchmark median-of-k wall times (see
+:mod:`repro.perf.timing`), the machine fingerprint, and the git revision.
+The checked-in snapshot lives at ``BENCH_9.json`` in the repo root
+(``BENCH_6.json`` and ``BENCH_7.json`` are prior issues' trajectories,
+kept for history), regenerated with::
 
-    PYTHONPATH=src python -m repro bench --output BENCH_7.json --force
+    PYTHONPATH=src python -m repro bench --output BENCH_9.json --force
 
 so future sessions can see the perf trajectory instead of guessing.  CI
 re-emits and schema-validates the document on every push (the
@@ -253,6 +255,57 @@ def _figure4_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]
     }
 
 
+def _serve_roundtrip_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    """Submit-to-result latency through a live serve daemon on a Unix socket.
+
+    ``median_seconds`` is the cache-hit roundtrip (the submission digest
+    matches a finished job, so the daemon answers from its result memo);
+    the reference is the cold roundtrip (a fresh ``master_seed`` every
+    iteration forces a real computation).  The ratio is what service mode
+    buys a client asking an already-answered question.
+    """
+    import itertools
+    import shutil
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ServeDaemon
+
+    sock_dir = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    daemon = ServeDaemon(
+        socket_path=os.path.join(sock_dir, "bench.sock"),
+        workers=1,
+        admission_rate=10_000.0,  # admission is not what this benchmark measures
+        admission_burst=10_000.0,
+    )
+    daemon.start()
+    fresh_seeds = itertools.count(1)
+    params = {"smoke": True, "topologies": ["cycle"]} if quick else {"smoke": True}
+    try:
+        with ServeClient(daemon.address, client="bench") as client:
+            def cold_roundtrip():
+                client.run(
+                    "figure4", dict(params, master_seed=next(fresh_seeds)), timeout=300
+                )
+
+            def hit_roundtrip():
+                client.run("figure4", dict(params, master_seed=0), timeout=300)
+
+            cold_seconds = median_of_k(cold_roundtrip, repeats=repeats, warmup=warmup)
+            hit_roundtrip()  # populate the memo: every timed call below is a hit
+            hit_seconds = median_of_k(hit_roundtrip, repeats=repeats, warmup=warmup)
+    finally:
+        daemon.shutdown(timeout=120)
+        shutil.rmtree(sock_dir, ignore_errors=True)
+    return {
+        "name": "serve.roundtrip",
+        "group": "serve",
+        "median_seconds": hit_seconds,
+        "reference_median_seconds": cold_seconds,
+        "speedup": cold_seconds / hit_seconds if hit_seconds > 0 else None,
+    }
+
+
 def machine_fingerprint() -> Dict[str, Any]:
     """Where this trajectory was measured (wall times are machine-relative)."""
     return {
@@ -293,10 +346,11 @@ def run_bench(
     benchmarks.append(_balancer_benchmark(repeats, warmup, quick))
     benchmarks.append(_group_ledger_benchmark(repeats, warmup, quick))
     benchmarks.append(_figure4_benchmark(repeats, warmup, quick))
+    benchmarks.append(_serve_roundtrip_benchmark(repeats, warmup, quick))
     payload = {
         "schema_version": PERF_SCHEMA_VERSION,
         "kind": "bench",
-        "issue": 7,
+        "issue": 9,
         "git_rev": git_revision(),
         "kernels_backend": active_backend(),
         "machine": machine_fingerprint(),

@@ -24,12 +24,13 @@ outcomes whether it ran on one worker, sixteen workers, or straight out of
 the cache.
 """
 
-from repro.runtime.cache import ResultCache, code_version, config_digest
+from repro.runtime.cache import ResultCache, atomic_write_bytes, code_version, config_digest
 from repro.runtime.seeding import replicate_config, replicate_grid, seed_grid, trial_seed
 from repro.runtime.sweep import SweepReport, SweepRunner, run_sweep
 
 __all__ = [
     "ResultCache",
+    "atomic_write_bytes",
     "SweepReport",
     "SweepRunner",
     "code_version",

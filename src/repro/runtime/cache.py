@@ -45,6 +45,31 @@ DEFAULT_CACHE_DIR = "~/.cache/repro-quantum"
 _code_version: Optional[str] = None
 
 
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` so that readers never observe a torn file.
+
+    The bytes land in a uniquely named ``*.tmp`` sibling first and are
+    moved into place with ``os.replace`` -- atomic on POSIX within one
+    filesystem -- so any number of concurrent writers racing on the same
+    ``path`` each publish a complete file and the last one wins.  The
+    temporary file is unlinked on *any* failure (including the replace
+    itself), so a crashed writer cannot leave ``*.tmp`` orphans behind;
+    only a writer killed between ``close`` and ``replace`` can, and
+    :meth:`ResultCache.clear` sweeps those up.
+    """
+    descriptor, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass  # already replaced or the directory vanished
+        raise
+
+
 def default_cache_dir() -> Path:
     """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-quantum``."""
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR).expanduser()
@@ -140,19 +165,18 @@ class ResultCache:
         return outcome
 
     def put(self, config: ExperimentConfig, outcome: TrialOutcome) -> None:
-        """Store ``outcome`` under ``config``'s content address (atomic rename)."""
+        """Store ``outcome`` under ``config``'s content address.
+
+        Publication goes through :func:`atomic_write_bytes`, so concurrent
+        writers racing on one key (sweep workers, serve-daemon jobs, and
+        independent processes alike) each install a complete entry and a
+        concurrent :meth:`get` sees either an old complete value or a new
+        complete value -- never a torn read, never a ``*.tmp`` orphan from
+        a failed write.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(config_digest(config))
-        handle = tempfile.NamedTemporaryFile(
-            mode="wb", dir=self.directory, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(handle.name, path)
-        except BaseException:
-            os.unlink(handle.name)
-            raise
+        atomic_write_bytes(path, pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL))
         self.stats.stores += 1
 
     def __contains__(self, config: ExperimentConfig) -> bool:

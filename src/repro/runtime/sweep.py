@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig, TrialOutcome
 from repro.runtime.cache import ResultCache
@@ -113,8 +113,22 @@ class SweepRunner:
         """All outcomes, in config order (see :meth:`run_with_report`)."""
         return self.run_with_report(configs).outcomes
 
-    def run_with_report(self, configs: Sequence[ExperimentConfig]) -> SweepReport:
-        """Run every cell, skipping cached ones, and report provenance counts."""
+    def run_with_report(
+        self,
+        configs: Sequence[ExperimentConfig],
+        on_result: Optional[Callable[[int, TrialOutcome, bool], None]] = None,
+    ) -> SweepReport:
+        """Run every cell, skipping cached ones, and report provenance counts.
+
+        ``on_result(index, outcome, cached)`` is invoked once per cell as
+        its outcome becomes available -- cache hits first, then computed
+        cells in config order (the pool path streams them as they finish).
+        It is the hook long-running callers (the serve daemon's worker
+        pool) use to report progress or abort: an exception raised from the
+        callback propagates out of the sweep after the cell's outcome has
+        already been written through the cache, so an aborted sweep never
+        loses completed work.
+        """
         configs = list(configs)
         report = SweepReport(n_workers=self.n_workers)
         slots: List[Optional[TrialOutcome]] = [None] * len(configs)
@@ -125,6 +139,8 @@ class SweepRunner:
             if cached is not None:
                 slots[index] = cached
                 report.n_cached += 1
+                if on_result is not None:
+                    on_result(index, cached, True)
             else:
                 pending.append(index)
 
@@ -133,23 +149,28 @@ class SweepRunner:
             report.n_computed += 1
             if self.cache is not None:
                 self.cache.put(configs[index], outcome)
+            if on_result is not None:
+                on_result(index, outcome, False)
 
         unfilled = [index for index, slot in enumerate(slots) if slot is None]
-        if unfilled:  # pool.map returns everything or raises; a hole is a bug here
+        if unfilled:  # the pool yields everything or raises; a hole is a bug here
             raise RuntimeError(f"sweep left cells {unfilled} without an outcome")
         report.outcomes = slots
         return report
 
-    def _compute(self, configs: List[ExperimentConfig]) -> List[TrialOutcome]:
-        if not configs:
-            return []
+    def _compute(self, configs: List[ExperimentConfig]) -> Iterator[TrialOutcome]:
         # A pool is pure overhead for a single cell or a single worker.
         if self.n_workers == 1 or len(configs) == 1:
-            return [_compute_trial(config) for config in configs]
+            for config in configs:
+                yield _compute_trial(config)
+            return
         context = get_context("spawn")
         workers = min(self.n_workers, len(configs))
         with context.Pool(processes=workers) as pool:
-            return pool.map(_compute_trial, configs, chunksize=self.chunksize)
+            # imap (not map): identical ordered results, but streamed as
+            # they finish so per-cell callbacks fire without a barrier.
+            for outcome in pool.imap(_compute_trial, configs, chunksize=self.chunksize):
+                yield outcome
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepRunner(n_workers={self.n_workers}, cache={self.cache!r})"

@@ -1,0 +1,43 @@
+"""Service mode: the long-running ``repro serve`` experiment daemon.
+
+The subsystem that turns the experiment registry into a network service:
+
+* :mod:`repro.serve.protocol` -- the newline-delimited JSON wire protocol
+  (verbs, schemas, structured errors), checked in at
+  ``docs/schemas/serve-protocol.schema.json``.
+* :mod:`repro.serve.queue` -- the job table and the bounded priority queue.
+* :mod:`repro.serve.admission` -- per-client token-bucket admission over
+  the PR-5 workloads controller.
+* :mod:`repro.serve.worker` -- the worker pool executing jobs through the
+  PR-1 sweep runner with progress streaming, timeouts and crash retries.
+* :mod:`repro.serve.daemon` -- the socket server tying it all together,
+  with submission coalescing and graceful SIGTERM drain.
+* :mod:`repro.serve.client` -- the blocking client ``repro submit`` wraps.
+"""
+
+from repro.serve.admission import ServeAdmission
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import ServeDaemon
+from repro.serve.protocol import (
+    JOB_STATES,
+    SERVE_PROTOCOL_VERSION,
+    VERBS,
+    ProtocolError,
+)
+from repro.serve.queue import Job, JobQueue, QueueFull
+from repro.serve.worker import WorkerPool
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JOB_STATES",
+    "ProtocolError",
+    "QueueFull",
+    "SERVE_PROTOCOL_VERSION",
+    "ServeAdmission",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "VERBS",
+    "WorkerPool",
+]

@@ -1,0 +1,85 @@
+"""Admission control for the serve daemon.
+
+The daemon reuses the PR-5 token-bucket machinery from
+:class:`repro.workloads.admission.AdmissionController` -- the same
+admit-or-reject-at-the-edge contract that protects the simulated network,
+now protecting the service itself.  Each *client name* gets one bucket
+(``rate`` submissions per second accruing up to ``burst``); a submission
+from a client whose bucket is empty is rejected with a ``429``-style
+payload carrying a ``retry_after`` estimate, never queued.
+
+The bounded job-queue depth (:class:`repro.serve.queue.JobQueue`) is the
+second half of the policy: token buckets bound the *rate* per client,
+queue depth bounds the total *backlog* across clients.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.workloads.admission import AdmissionController
+
+#: Default sustained submission rate per client (jobs per second).
+DEFAULT_ADMISSION_RATE = 10.0
+
+#: Default bucket capacity (largest instantaneous burst absorbed per client).
+DEFAULT_ADMISSION_BURST = 20.0
+
+
+class ServeAdmission:
+    """Per-client wall-clock token buckets over the workloads controller.
+
+    Parameters
+    ----------
+    rate:
+        Tokens (submissions) accrued per client per second.
+    burst:
+        Bucket capacity and initial fill.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate: float = DEFAULT_ADMISSION_RATE,
+        burst: float = DEFAULT_ADMISSION_BURST,
+        clock=time.monotonic,
+    ):
+        # The workloads controller measures time in "rounds"; here a round
+        # is one wall-clock second, so `rate` is jobs/second unchanged.
+        self._controller = AdmissionController(rate=rate, burst=burst)
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def rate(self) -> float:
+        return self._controller.rate
+
+    @property
+    def burst(self) -> float:
+        return self._controller.burst
+
+    @property
+    def admitted_count(self) -> int:
+        return self._controller.admitted_count
+
+    @property
+    def rejected_count(self) -> int:
+        return self._controller.rejected_count
+
+    def _now(self) -> float:
+        return self._clock() - self._start
+
+    def admit(self, client: str) -> Tuple[bool, Optional[float]]:
+        """Charge ``client``'s bucket or reject.
+
+        Returns ``(True, None)`` on admission, ``(False, retry_after)``
+        on rejection, where ``retry_after`` is the seconds until the
+        bucket next holds a whole token.
+        """
+        now = self._now()
+        if self._controller.admit((client,), now):
+            return True, None
+        shortfall = 1.0 - self._controller.balance(client, now)
+        return False, max(shortfall, 0.0) / self._controller.rate

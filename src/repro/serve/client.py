@@ -1,0 +1,170 @@
+"""A blocking client for the ``repro serve`` daemon.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol over a
+Unix or TCP socket and exposes one Python method per verb, so scripts and
+tests talk to the daemon without touching sockets::
+
+    with ServeClient("/tmp/repro.sock") as client:
+        response = client.submit("figure4", {"smoke": True})
+        payload = client.result(response["job"], wait=True)["result"]
+
+The client is strictly blocking and single-request-at-a-time; progress
+events pushed by the daemon while a streaming submission runs are parted
+from responses by their ``event`` key and surfaced through :meth:`events`.
+``repro submit`` (:mod:`repro.cli`) is a thin wrapper over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.serve.protocol import parse_address
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error payload (attributes mirror it)."""
+
+    def __init__(self, response: Dict[str, Any]):
+        error = response.get("error") or {}
+        super().__init__(error.get("message", "serve request failed"))
+        self.response = response
+        self.code = int(error.get("code", 500))
+        self.kind = error.get("kind", "worker-error")
+        self.retry_after = error.get("retry_after")
+
+
+class ServeClient:
+    """Blocking connection to a serve daemon at ``address``.
+
+    ``address`` is a Unix-socket path or ``host:port`` (see
+    :func:`repro.serve.protocol.parse_address`); ``client`` names this
+    caller for the daemon's per-client admission buckets.
+    """
+
+    def __init__(self, address: str, client: Optional[str] = None, timeout: Optional[float] = None):
+        self.address = address
+        self.client_name = client
+        family, target = parse_address(address)
+        if family == "unix":
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(target)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._pending_events: List[Dict[str, Any]] = []
+        self._request_counter = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _read_message(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError(f"serve daemon at {self.address} closed the connection")
+        return json.loads(line)
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and block for its response.
+
+        Events arriving in between are buffered for :meth:`events`.
+        Error responses raise :class:`ServeError`.
+        """
+        self._request_counter += 1
+        message: Dict[str, Any] = {"op": op, "id": f"r-{self._request_counter}"}
+        if self.client_name:
+            message["client"] = self.client_name
+        message.update({key: value for key, value in fields.items() if value is not None})
+        self._sock.sendall((json.dumps(message) + "\n").encode("utf-8"))
+        while True:
+            received = self._read_message()
+            if "event" in received:
+                self._pending_events.append(received)
+                continue
+            if not received.get("ok", False):
+                raise ServeError(received)
+            return received
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Yield pushed events (for a streaming submission) until ``end``."""
+        while True:
+            if self._pending_events:
+                event = self._pending_events.pop(0)
+            else:
+                received = self._read_message()
+                if "event" not in received:
+                    raise ProtocolViolation(f"expected an event, got response: {received}")
+                event = received
+            yield event
+            if event.get("event") == "end":
+                return
+
+    # -- verbs ---------------------------------------------------------------
+
+    def submit(
+        self,
+        experiment: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        stream: bool = False,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "submit",
+            experiment=experiment,
+            params=params or {},
+            priority=priority,
+            stream=stream or None,
+        )
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self.request("status", job=job)
+
+    def result(
+        self, job: str, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self.request("result", job=job, wait=wait or None, timeout=timeout)
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        return self.request("cancel", job=job)
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return self.request("list")["jobs"]
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")["stats"]
+
+    def run(
+        self,
+        experiment: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit and block until the result payload is available."""
+        submitted = self.submit(experiment, params, priority=priority)
+        return self.result(submitted["job"], wait=True, timeout=timeout)
+
+
+class ProtocolViolation(RuntimeError):
+    """The daemon pushed something the client cannot classify."""

@@ -1,0 +1,598 @@
+"""The long-running experiment service: ``repro serve``.
+
+One persistent process owns the expensive state every one-shot CLI
+invocation pays for from scratch -- imports, the experiment registry, and
+above all the shared :class:`~repro.runtime.cache.ResultCache` -- and
+serves it to any number of clients over a Unix or TCP socket speaking the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`.
+
+Request flow for a ``submit``:
+
+1. **Validation** -- the experiment must be registered and the parameters
+   must resolve through its ParamSpec table (``normalize`` included), so a
+   bad submission fails with a ``400``/``404`` payload before it can ever
+   occupy a worker.
+2. **Coalescing** -- submissions are content-addressed over
+   ``(experiment, normalized params)``.  A digest that matches a finished
+   job is answered from the in-memory result memo immediately (a *result
+   cache hit*); one that matches a queued/running job joins it (a
+   *coalesced submission*) and shares its result when it lands.  Both
+   show up in ``stats``.
+3. **Admission** -- per-client token buckets plus the bounded queue depth
+   (:mod:`repro.serve.admission`); a rejected submission gets an explicit
+   ``429`` payload with a ``retry_after`` hint.
+4. **Execution** -- the worker pool (:mod:`repro.serve.worker`) streams
+   ``progress`` events to subscribers as trials complete and parks crashes
+   as structured ``error`` payloads.
+
+Lifecycle: ``SIGTERM``/``SIGINT`` (or :meth:`ServeDaemon.shutdown`) flips
+the daemon to **draining** -- new submissions are rejected with ``503``,
+already-admitted jobs run to completion, a final stats snapshot is
+flushed -- and the process exits ``0``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.api import ParamSpec
+from repro.experiments.registry import get_experiment
+from repro.runtime.cache import ResultCache
+from repro.serve import protocol
+from repro.serve.admission import (
+    DEFAULT_ADMISSION_BURST,
+    DEFAULT_ADMISSION_RATE,
+    ServeAdmission,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    encode,
+    end_event,
+    error_response,
+    ok_response,
+    parse_request,
+    progress_event,
+)
+from repro.serve.queue import Job, JobQueue, QueueFull
+from repro.serve.worker import WorkerPool
+
+#: Default bound on pending submissions.
+DEFAULT_QUEUE_DEPTH = 64
+
+
+class _Connection:
+    """One accepted client socket plus its send lock and identity."""
+
+    def __init__(self, sock: socket.socket, conn_id: int):
+        self.sock = sock
+        self.conn_id = conn_id
+        self.default_client = f"conn-{conn_id}"
+        self.send_lock = threading.Lock()
+        self.alive = True
+
+    def send(self, message: Dict[str, Any]) -> bool:
+        """Send one wire line; returns ``False`` (and dies) on a broken peer."""
+        data = encode(message)
+        with self.send_lock:
+            if not self.alive:
+                return False
+            try:
+                self.sock.sendall(data)
+                return True
+            except OSError:
+                self.alive = False
+                return False
+
+
+def coerce_params(specs: Tuple[ParamSpec, ...], params: Dict[str, Any]) -> Dict[str, Any]:
+    """Apply ParamSpec types to string-valued JSON fields.
+
+    A JSON client may send ``"2.0"`` where the table wants a float; the
+    spec's ``type`` callable is exactly the converter the CLI would have
+    applied.  Non-string values (already-typed JSON numbers, booleans,
+    lists, ``null``) pass through untouched.
+    """
+    table = {spec.name: spec for spec in specs}
+    coerced: Dict[str, Any] = {}
+    for name, value in params.items():
+        spec = table.get(name)
+        if spec is not None and isinstance(value, str) and not spec.is_flag:
+            try:
+                value = spec.type(value)
+            except (TypeError, ValueError) as error:
+                raise ValueError(f"parameter {name!r}: {error}") from None
+        coerced[name] = value
+    return coerced
+
+
+def submission_digest(experiment: str, params: Dict[str, Any]) -> str:
+    """The content address submissions coalesce on.
+
+    Canonical JSON over the *normalized* parameters, so two clients
+    spelling the same job differently (string vs number, omitted default)
+    still land on one digest.
+    """
+    import hashlib
+
+    canonical = json.dumps(
+        {"experiment": experiment, "params": params}, sort_keys=True, default=repr
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+class ServeDaemon:
+    """The experiment service (see the module docstring for the contract).
+
+    Parameters
+    ----------
+    socket_path / host, port:
+        Exactly one listening endpoint: a Unix socket path, or a TCP
+        ``host:port`` (``port=0`` picks a free port, readable from
+        :attr:`address` after :meth:`start`).
+    workers:
+        Worker thread count (job-level parallelism).
+    queue_depth:
+        Bound on pending submissions (excess is rejected, 429).
+    admission_rate / admission_burst:
+        Per-client token-bucket parameters (jobs/second, burst capacity).
+    job_timeout:
+        Per-job wall-clock budget in seconds (checked between trials).
+    retries:
+        Re-attempts per crashed job before it parks as ``error``.
+    cache:
+        Shared trial-level :class:`ResultCache` (``None`` disables it; the
+        job-level result memo is always on).
+    stats_file:
+        Where the final stats snapshot is flushed on shutdown.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        workers: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        admission_rate: float = DEFAULT_ADMISSION_RATE,
+        admission_burst: float = DEFAULT_ADMISSION_BURST,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+        cache: Optional[ResultCache] = None,
+        stats_file: Optional[str] = None,
+    ):
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path and port must be given")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.cache = cache
+        self.stats_file = stats_file
+        self.queue = JobQueue(depth=queue_depth)
+        self.admission = ServeAdmission(rate=admission_rate, burst=admission_burst)
+        self.pool = WorkerPool(
+            self.queue,
+            n_workers=workers,
+            cache=cache,
+            job_timeout=job_timeout,
+            retries=retries,
+            on_event=self._on_job_event,
+        )
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: List[_Connection] = []
+        self._jobs: Dict[str, Job] = {}
+        self._by_digest: Dict[str, str] = {}  # digest -> job_id (latest)
+        self._lock = threading.RLock()
+        self._job_counter = 0
+        self._conn_counter = 0
+        self._started = time.monotonic()
+        self._state = "stopped"
+        self._stats = {
+            "submitted": 0,
+            "coalesced": 0,
+            "result_cache_hits": 0,
+            "result_cache_misses": 0,
+            "rejected_admission": 0,
+            "rejected_queue_full": 0,
+            "rejected_draining": 0,
+            "rejected_invalid": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def address(self) -> str:
+        """The connectable address (resolved TCP port included)."""
+        if self.socket_path is not None:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> None:
+        """Bind the socket and start the acceptor and worker threads."""
+        if self.socket_path is not None:
+            path = Path(self.socket_path)
+            if path.exists():
+                path.unlink()  # stale socket from a killed daemon
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.socket_path)
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            self.port = listener.getsockname()[1]
+        listener.listen(64)
+        self._listener = listener
+        self._started = time.monotonic()
+        self._state = "serving"
+        self.pool.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def drain(self) -> None:
+        """Stop admitting; already-accepted jobs keep running."""
+        self._state = "draining"
+
+    def shutdown(self, timeout: Optional[float] = 30.0) -> Dict[str, Any]:
+        """Graceful stop: drain, finish admitted jobs, flush stats.
+
+        Returns the final stats snapshot (also written to ``stats_file``
+        when configured).
+        """
+        self.drain()
+        self.pool.wait_idle(timeout=timeout)
+        self.pool.stop(timeout=timeout)
+        self._state = "stopped"
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self.socket_path is not None:
+            Path(self.socket_path).unlink(missing_ok=True)
+        with self._lock:
+            connections = list(self._connections)
+        for connection in connections:
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+        snapshot = self.stats_snapshot()
+        if self.stats_file is not None:
+            Path(self.stats_file).write_text(
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        return snapshot
+
+    def serve_until(self, stop: threading.Event) -> Dict[str, Any]:
+        """Run until ``stop`` is set (the CLI's signal handlers set it)."""
+        self.start()
+        while not stop.wait(0.2):
+            pass
+        return self.shutdown()
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:  # listener closed: shutdown
+                return
+            with self._lock:
+                self._conn_counter += 1
+                connection = _Connection(sock, self._conn_counter)
+                self._connections.append(connection)
+            thread = threading.Thread(
+                target=self._client_loop,
+                args=(connection,),
+                name=f"repro-serve-conn-{connection.conn_id}",
+                daemon=True,
+            )
+            thread.start()
+
+    def _client_loop(self, connection: _Connection) -> None:
+        try:
+            reader = connection.sock.makefile("r", encoding="utf-8", newline="\n")
+            for line in reader:
+                if not line.strip():
+                    continue
+                response = self._handle_line(line, connection)
+                if response is not None and not connection.send(response):
+                    break
+        except OSError:
+            pass
+        finally:
+            connection.alive = False
+            with self._lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+                for job in self._jobs.values():
+                    if connection in job.subscribers:
+                        job.subscribers.remove(connection)
+            try:
+                connection.sock.close()
+            except OSError:
+                pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _handle_line(self, line: str, connection: _Connection) -> Optional[Dict[str, Any]]:
+        try:
+            request = parse_request(line)
+        except ProtocolError as error:
+            self._stats["rejected_invalid"] += 1
+            return error_response("invalid", error.code, str(error))
+        handler = getattr(self, f"_handle_{request['op']}")
+        try:
+            return handler(request, connection)
+        except ProtocolError as error:
+            extra = {} if error.retry_after is None else {"retry_after": error.retry_after}
+            return error_response(
+                request["op"], error.code, str(error), request.get("id"), **extra
+            )
+
+    def _get_job(self, request: Dict[str, Any]) -> Job:
+        job_id = request.get("job")
+        if not job_id:
+            raise ProtocolError(400, f"{request['op']} requires a 'job' field")
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(404, f"unknown job {job_id!r}")
+        return job
+
+    # -- verbs ---------------------------------------------------------------
+
+    def _handle_submit(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        request_id = request.get("id")
+        client = request.get("client") or connection.default_client
+        if self._state != "serving":
+            self._stats["rejected_draining"] += 1
+            raise ProtocolError(503, "daemon is draining; not accepting submissions")
+        name = request.get("experiment")
+        if not name:
+            raise ProtocolError(400, "submit requires an 'experiment' field")
+        try:
+            experiment = get_experiment(name)
+        except KeyError as error:
+            raise ProtocolError(404, str(error.args[0])) from None
+        raw_params = request.get("params") or {}
+        try:
+            params = coerce_params(experiment.params, dict(raw_params))
+            normalized = experiment.normalize(experiment.resolve_params(params))
+        except (TypeError, ValueError) as error:
+            raise ProtocolError(400, f"invalid parameters for {name!r}: {error}") from None
+        digest = submission_digest(name, normalized)
+        stream = bool(request.get("stream"))
+
+        # One lock span from the digest lookup through the queue push:
+        # two concurrent identical submissions must observe each other, or
+        # the coalescing promise ("identical submissions are served from
+        # the shared cache") would race away exactly when it matters.
+        with self._lock:
+            existing_id = self._by_digest.get(digest)
+            existing = self._jobs.get(existing_id) if existing_id else None
+            if existing is not None and existing.state in ("queued", "running", "done"):
+                existing.clients.append(client)
+                if existing.state == "done":
+                    self._stats["result_cache_hits"] += 1
+                    cached = True
+                else:
+                    self._stats["coalesced"] += 1
+                    cached = False
+                if stream and not existing.finished and connection not in existing.subscribers:
+                    existing.subscribers.append(connection)
+                response = ok_response(
+                    "submit",
+                    request_id,
+                    job=existing.job_id,
+                    state=existing.state,
+                    cached=cached,
+                )
+                if stream and existing.finished:
+                    connection.send(response)
+                    connection.send(end_event(existing.job_id, existing.state))
+                    return None
+                return response
+            self._stats["result_cache_misses"] += 1
+
+            admitted, retry_after = self.admission.admit(client)
+            if not admitted:
+                self._stats["rejected_admission"] += 1
+                raise ProtocolError(
+                    429,
+                    f"client {client!r} exceeded the submission rate "
+                    f"({self.admission.rate:g}/s, burst {self.admission.burst:g}); "
+                    f"retry in {retry_after:.2f}s",
+                    retry_after=retry_after,
+                )
+
+            self._job_counter += 1
+            job = Job(
+                job_id=f"j-{self._job_counter:06d}",
+                experiment=name,
+                params={key: value for key, value in params.items()},
+                digest=digest,
+                priority=int(request.get("priority") or 0),
+                client=client,
+            )
+            if stream:
+                job.subscribers.append(connection)
+            try:
+                self.queue.push(job)
+            except QueueFull as error:
+                self._stats["rejected_queue_full"] += 1
+                raise ProtocolError(429, str(error)) from None
+            self._jobs[job.job_id] = job
+            self._by_digest[digest] = job.job_id
+            self._stats["submitted"] += 1
+        return ok_response(
+            "submit", request_id, job=job.job_id, state=job.state, cached=False
+        )
+
+    def _handle_status(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        job = self._get_job(request)
+        summary = job.summary()
+        state = summary.pop("state")
+        return ok_response("status", request.get("id"), state=state, **summary)
+
+    def _handle_result(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        job = self._get_job(request)
+        if request.get("wait") and not job.finished:
+            timeout = request.get("timeout")
+            if not job.done_event.wait(timeout):
+                raise ProtocolError(
+                    408, f"job {job.job_id} still {job.state} after {timeout:g}s wait"
+                )
+        request_id = request.get("id")
+        if job.state == "done":
+            return ok_response(
+                "result", request_id, job=job.job_id, state="done", result=job.result
+            )
+        if job.state == "error":
+            error = dict(job.error or {})
+            return error_response(
+                "result",
+                int(error.get("code", 500)),
+                str(error.get("message", "job failed")),
+                request_id,
+                job=job.job_id,
+                state="error",
+            )
+        if job.state == "cancelled":
+            return error_response(
+                "result", 409, f"job {job.job_id} was cancelled", request_id,
+                job=job.job_id, state="cancelled",
+            )
+        return error_response(
+            "result",
+            409,
+            f"job {job.job_id} is still {job.state} (pass \"wait\": true to block)",
+            request_id,
+            job=job.job_id,
+            state=job.state,
+        )
+
+    def _handle_cancel(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        job = self._get_job(request)
+        if job.finished:
+            raise ProtocolError(409, f"job {job.job_id} already {job.state}")
+        job.cancel_event.set()
+        if job.state == "queued":
+            # The queue skips cancelled entries on pop; finalise eagerly so
+            # status flips without waiting for a worker to reach it.
+            job.state = "cancelled"
+            job.done_event.set()
+            self._on_job_event(job)
+        return ok_response("cancel", request.get("id"), job=job.job_id, state=job.state)
+
+    def _handle_list(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        with self._lock:
+            jobs = [self._jobs[key].summary() for key in sorted(self._jobs)]
+        return ok_response("list", request.get("id"), jobs=jobs)
+
+    def _handle_health(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        with self._lock:
+            running = sum(1 for job in self._jobs.values() if job.state == "running")
+        return ok_response(
+            "health",
+            request.get("id"),
+            state=self._state,
+            stats={
+                "uptime_seconds": time.monotonic() - self._started,
+                "queued": len(self.queue),
+                "running": running,
+                "workers": self.pool.n_workers,
+                "protocol_version": protocol.SERVE_PROTOCOL_VERSION,
+            },
+        )
+
+    def _handle_stats(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        return ok_response("stats", request.get("id"), stats=self.stats_snapshot())
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Every counter the daemon keeps, as one JSON-ready object."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            snapshot: Dict[str, Any] = dict(self._stats)
+        snapshot.update(
+            {
+                "state": self._state,
+                "uptime_seconds": time.monotonic() - self._started,
+                "workers": self.pool.n_workers,
+                "queue_depth": self.queue.depth,
+                "queued": len(self.queue),
+                "jobs_by_state": by_state,
+                "admission": {
+                    "rate_per_second": self.admission.rate,
+                    "burst": self.admission.burst,
+                    "admitted": self.admission.admitted_count,
+                    "rejected": self.admission.rejected_count,
+                },
+                "trial_cache": None
+                if self.cache is None
+                else {
+                    "hits": self.cache.stats.hits,
+                    "misses": self.cache.stats.misses,
+                    "stores": self.cache.stats.stores,
+                },
+            }
+        )
+        return snapshot
+
+    # -- events --------------------------------------------------------------
+
+    def _on_job_event(self, job: Job) -> None:
+        """Worker callback: update counters and push events to subscribers."""
+        if job.finished:
+            with self._lock:
+                if not getattr(job, "_counted", False):
+                    job._counted = True  # type: ignore[attr-defined]
+                    key = {"done": "completed", "error": "failed", "cancelled": "cancelled"}[
+                        job.state
+                    ]
+                    self._stats[key] += 1
+            message = end_event(job.job_id, job.state)
+        else:
+            message = progress_event(
+                job.job_id, job.state, job.completed, job.total, job.cached_trials
+            )
+        with self._lock:
+            subscribers = list(job.subscribers)
+        for connection in subscribers:
+            if not connection.send(message):
+                # A vanished subscriber never kills the job: drop it and
+                # keep computing for everyone else.
+                with self._lock:
+                    if connection in job.subscribers:
+                        job.subscribers.remove(connection)

@@ -50,6 +50,15 @@ class AdmissionController:
         tokens, last = self._buckets.get(node, (self.burst, 0.0))
         return min(self.burst, tokens + self.rate * max(now - last, 0.0))
 
+    def balance(self, node: NodeId, now: float) -> float:
+        """The token balance ``node`` would hold at time ``now`` (read-only).
+
+        Public accessor for layers that need to *report* bucket state --
+        e.g. the serve daemon's ``429`` payloads estimate ``retry_after``
+        from the shortfall -- without mutating it.
+        """
+        return self._tokens_at(node, now)
+
     def admit(self, pair: Tuple[NodeId, ...], now: float) -> bool:
         """Admit (and charge) or reject the request for ``pair`` arriving at ``now``.
 

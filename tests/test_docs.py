@@ -223,6 +223,41 @@ def test_every_kernel_and_backend_is_documented():
     assert KERNELS_ENV in text, f"docs never mention the {KERNELS_ENV} switch"
 
 
+def test_serve_protocol_surface_is_documented():
+    """Registry gate: the service-mode surface -- every wire-protocol verb,
+    job/daemon lifecycle state and error kind, plus every ``repro serve``
+    and ``repro submit`` flag -- must appear backticked in README/docs, so
+    the protocol can never grow undocumented."""
+    from repro.serve.protocol import DAEMON_STATES, ERROR_KINDS, JOB_STATES, VERBS
+
+    text = _doc_text()
+    tokens = set(re.findall(r"`([a-z-]+)`", text))
+    for collection, kind in (
+        (VERBS, "protocol verb"),
+        (JOB_STATES, "job state"),
+        (DAEMON_STATES, "daemon state"),
+        (ERROR_KINDS.values(), "error kind"),
+    ):
+        missing = [name for name in collection if name not in tokens]
+        assert not missing, f"serve {kind} names missing from the docs: {missing}"
+
+    subparsers = next(
+        action
+        for action in build_parser()._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    documented_flags = set(_CLI_FLAG.findall(text))
+    for command in ("serve", "submit"):
+        flags = {
+            option
+            for action in subparsers.choices[command]._actions
+            for option in action.option_strings
+            if option.startswith("--") and option != "--help"
+        }
+        missing = sorted(flags - documented_flags)
+        assert not missing, f"`repro {command}` flags missing from the docs: {missing}"
+
+
 def test_every_experiment_has_a_ci_invocation():
     """Registry gate: every registered experiment must be exercised by CI
     with a ``--smoke``-or-small invocation."""

@@ -380,9 +380,10 @@ class TestBench:
     def test_quick_trajectory_is_schema_valid_and_fast_kernels_win(self):
         payload = run_bench(repeats=2, warmup=1, quick=True)
         validate_bench(payload)
-        assert payload["kind"] == "bench" and payload["issue"] == 7
+        assert payload["kind"] == "bench" and payload["issue"] == 9
         names = {entry["name"] for entry in payload["benchmarks"]}
         assert {f"kernel.{name}" for name in kernel_names()} <= names
+        assert "serve.roundtrip" in names
         speedups = kernel_speedups(payload)
         assert set(speedups) == set(kernel_names())
         # The acceptance criterion: >= 3x on at least two of the three

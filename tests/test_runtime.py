@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import math
 import pickle
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -13,6 +16,7 @@ from repro.perf.kernels import KERNELS_ENV
 from repro.runtime import (
     ResultCache,
     SweepRunner,
+    atomic_write_bytes,
     code_version,
     config_digest,
     replicate_config,
@@ -279,3 +283,150 @@ class TestSweepRunner:
         """spawn-safety precondition: configs must survive a pickle round-trip."""
         for config in _tiny_configs():
             assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestOnResultCallback:
+    """The per-cell ``on_result`` hook the serve daemon's progress spine uses."""
+
+    def test_callback_sees_every_cell_with_provenance(self, tmp_path):
+        configs = _tiny_configs()
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(n_workers=1, cache=cache)
+        runner.run([configs[0], configs[2]])  # pre-warm two of the four cells
+        calls = []
+        runner.run_with_report(configs, on_result=lambda i, o, c: calls.append((i, c)))
+        # Cache hits fire first, then computed cells, each group in config order.
+        assert [index for index, cached in calls if cached] == [0, 2]
+        assert [index for index, cached in calls if not cached] == [1, 3]
+
+    def test_callback_outcomes_match_the_report(self):
+        configs = _tiny_configs()
+        seen = {}
+        report = SweepRunner(n_workers=1).run_with_report(
+            configs, on_result=lambda i, o, c: seen.setdefault(i, o)
+        )
+        assert sorted(seen) == list(range(len(configs)))
+        for index, outcome in seen.items():
+            assert _fingerprint(outcome) == _fingerprint(report.outcomes[index])
+
+    def test_callback_abort_never_loses_completed_work(self, tmp_path):
+        """An exception from the callback (the daemon's cancel/timeout path)
+        propagates only after the finished cell was written through the
+        cache, so an aborted job resumes instead of recomputing."""
+        configs = _tiny_configs()
+        cache = ResultCache(tmp_path)
+
+        class Abort(Exception):
+            pass
+
+        def on_result(index, outcome, cached):
+            if index == 1:
+                raise Abort
+
+        with pytest.raises(Abort):
+            SweepRunner(n_workers=1, cache=cache).run_with_report(
+                configs, on_result=on_result
+            )
+        assert len(cache) == 2  # cells 0 and 1 were published before the abort
+
+    def test_callback_fires_in_pool_mode_in_config_order(self):
+        configs = _tiny_configs()
+        calls = []
+        report = SweepRunner(n_workers=2).run_with_report(
+            configs, on_result=lambda i, o, c: calls.append(i)
+        )
+        assert calls == [0, 1, 2, 3]
+        assert report.n_computed == len(configs)
+
+
+#: Run in a child process: hammer one cache key with repeated writes.
+_WRITER_SCRIPT = """
+import sys
+
+from repro.experiments.figure4 import figure4_configs
+from repro.experiments.runner import run_trial
+from repro.runtime import ResultCache
+
+cache_dir, rounds = sys.argv[1], int(sys.argv[2])
+config = figure4_configs(
+    n_nodes=9, distillation_values=(1.0,), topologies=("cycle",), seeds=(1,),
+    n_requests=6, n_consumer_pairs=5,
+)[0]
+outcome = run_trial(config)  # deterministic: every writer stores identical bytes
+cache = ResultCache(cache_dir)
+for _ in range(rounds):
+    cache.put(config, outcome)
+"""
+
+
+class TestAtomicWrites:
+    def test_atomic_write_bytes_roundtrip(self, tmp_path):
+        target = tmp_path / "entry.bin"
+        atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        atomic_write_bytes(target, b"replacement")
+        assert target.read_bytes() == b"replacement"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_atomic_write_bytes_cleans_up_on_failure(self, tmp_path):
+        """Regression: a failed publish must unlink its temporary file."""
+        target = tmp_path / "entry.bin"
+        target.mkdir()  # os.replace onto a directory fails on POSIX
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"payload")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_two_process_write_storm_never_tears_or_orphans(self, tmp_path):
+        """Satellite regression: two processes hammering the same cache key
+        leave no ``*.tmp`` orphans and no torn entries -- a concurrent
+        reader only ever observes a complete pickle (or no file at all)."""
+        config = figure4_configs(
+            n_nodes=9, distillation_values=(1.0,), topologies=("cycle",), seeds=(1,),
+            n_requests=6, n_consumer_pairs=5,
+        )[0]
+        entry = tmp_path / f"{config_digest(config)}.pkl"
+        import os
+
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [package_root, env.get("PYTHONPATH")])
+        )
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, str(tmp_path), "40"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                env=env,
+            )
+            for _ in range(2)
+        ]
+        expected = None
+        observed_entry = False
+        try:
+            while any(writer.poll() is None for writer in writers):
+                # Torn-read probe: read the raw bytes, bypassing the cache's
+                # corrupt-entry recovery, so a non-atomic write would fail
+                # the unpickle here.
+                try:
+                    blob = entry.read_bytes()
+                except FileNotFoundError:
+                    continue
+                observed_entry = True
+                outcome = pickle.loads(blob)
+                if expected is None:
+                    expected = _fingerprint(outcome)
+                assert _fingerprint(outcome) == expected
+                time.sleep(0.001)
+        finally:
+            for writer in writers:
+                writer.wait(timeout=120)
+        for writer in writers:
+            assert writer.returncode == 0, writer.stderr.read().decode()
+        assert observed_entry, "writers finished without publishing anything"
+        assert list(tmp_path.glob("*.tmp")) == [], "a writer leaked its temp file"
+        assert list(tmp_path.glob("*.pkl")) == [entry]
+        final = ResultCache(tmp_path).get(config)
+        assert _fingerprint(final) == expected
