@@ -1,0 +1,76 @@
+"""Benchmarks pinning the telemetry layer's overhead budget.
+
+The observability contract has a perf clause: spans are cheap enough to
+leave on for real runs (< 5% on an instrumented trial) and free when
+disabled (the default) -- ``span()`` then returns a shared no-op context
+manager, so a disabled call is one truthiness check plus a dict lookup
+that never happens.  These tests measure both sides of that promise;
+``repro bench`` re-emits the same ratio as the ``obs.span_overhead``
+entry in the checked-in trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_trial
+from repro.obs import spans as spans_mod
+from repro.obs.spans import SPAN_BUFFER, enable, span
+
+# Large enough that per-span cost is amortized over real simulation work,
+# the regime the < 5% budget is about (smoke-sized trials finish in
+# microseconds and would measure noise, not overhead).
+TRIAL = ExperimentConfig(
+    topology="cycle", n_nodes=25, n_consumer_pairs=35, n_requests=50
+)
+
+
+def test_enabled_span_overhead_under_five_percent(median_time):
+    """A fully instrumented trial costs < 5% over the same trial untracked."""
+
+    def plain():
+        run_trial(TRIAL)
+
+    def instrumented():
+        run_trial(TRIAL)
+        SPAN_BUFFER.clear()
+
+    enable(False)
+    disabled_seconds = median_time(plain, repeats=9, warmup=2)
+    enable(True)
+    try:
+        enabled_seconds = median_time(instrumented, repeats=9, warmup=2)
+    finally:
+        enable(False)
+        SPAN_BUFFER.clear()
+
+    ratio = enabled_seconds / disabled_seconds
+    print(
+        f"\nobs overhead: disabled {disabled_seconds * 1e3:.2f} ms, "
+        f"enabled {enabled_seconds * 1e3:.2f} ms, ratio {ratio:.3f}"
+    )
+    assert ratio < 1.05
+
+
+def test_disabled_span_is_a_shared_noop():
+    """With telemetry off every span() call returns the same no-op object,
+    so the disabled path allocates nothing."""
+    enable(False)
+    assert span("trial.run") is span("trial.topology") is spans_mod._NOOP
+
+
+def test_disabled_span_call_is_nanoseconds(median_time):
+    """The per-call cost of a disabled span is sub-microsecond -- the
+    'near zero when off' half of the overhead budget."""
+    enable(False)
+    calls = 100_000
+
+    def loop():
+        for _ in range(calls):
+            with span("trial.balance"):
+                pass
+
+    seconds = median_time(loop, repeats=5, warmup=1)
+    per_call = seconds / calls
+    print(f"\ndisabled span: {per_call * 1e9:.0f} ns/call")
+    assert per_call < 2e-6
+    assert len(SPAN_BUFFER) == 0

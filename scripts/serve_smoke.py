@@ -10,7 +10,9 @@ Pins the whole serve contract in one subprocess session:
 3. Check the second submission was answered from the shared cache — the
    daemon's ``stats`` must show exactly one real computation and at least
    one coalesced/memo-hit answer.
-4. Send SIGTERM and check the daemon drains and exits 0 within a timeout.
+4. Scrape the ``metrics`` verb and check the Prometheus-style exposition
+   parses and agrees with ``stats`` on the counters it mirrors.
+5. Send SIGTERM and check the daemon drains and exits 0 within a timeout.
 
 Exit status 0 means the contract holds; any assertion failure or timeout
 is a non-zero exit.  Usage::
@@ -35,6 +37,7 @@ sys.path.insert(0, SRC)
 
 from repro.experiments import get_experiment  # noqa: E402
 from repro.experiments.schema import validate_payload  # noqa: E402
+from repro.obs.exposition import parse_exposition, sample_name  # noqa: E402
 from repro.serve.client import ServeClient  # noqa: E402
 from repro.serve.protocol import RESPONSE_SCHEMA  # noqa: E402
 
@@ -103,6 +106,17 @@ def main() -> int:
         assert stats["submitted"] == 1, stats
         assert stats["coalesced"] + stats["result_cache_hits"] >= 1, stats
         print(f"smoke ok: 1 computation answered {1 + stats['coalesced'] + stats['result_cache_hits']} submissions")
+
+        # The metrics verb serves a parsable Prometheus-style exposition
+        # that agrees with stats and covers the queue/worker families.
+        with ServeClient(socket_path, client="smoke-metrics") as client:
+            samples = parse_exposition(client.metrics())
+        assert samples[sample_name("serve.submitted") + "_total"] == float(stats["submitted"]), samples
+        assert samples[sample_name("serve.jobs.completed") + "_total"] == float(stats["completed"]), samples
+        for gauge in ("serve.queue.depth", "serve.queue.capacity", "serve.workers.total", "serve.workers.busy"):
+            assert sample_name(gauge) in samples, (gauge, sorted(samples))
+        assert samples[sample_name("serve.uptime.seconds")] > 0.0, samples
+        print(f"smoke ok: metrics exposition parsed ({len(samples)} samples)")
 
         daemon.send_signal(signal.SIGTERM)
         daemon.wait(timeout=DRAIN_TIMEOUT)

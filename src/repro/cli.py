@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -39,10 +40,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 #: Tool subcommands that are not experiments: the profiling harness, the
-#: benchmark-trajectory emitter (see :mod:`repro.perf`), and service mode --
+#: benchmark-trajectory emitter (see :mod:`repro.perf`), service mode --
 #: the persistent experiment daemon plus its submission client
-#: (see :mod:`repro.serve`).
-TOOL_COMMANDS = ("profile", "bench", "serve", "submit")
+#: (see :mod:`repro.serve`) -- and the telemetry-stream inspector
+#: (see :mod:`repro.obs`).
+TOOL_COMMANDS = ("profile", "bench", "serve", "submit", "obs")
 
 
 def _positive_int(value: str) -> int:
@@ -103,6 +105,18 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flag(parser: argparse.ArgumentParser) -> None:
+    """The observation-only telemetry sink every experiment gains for free."""
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="FILE",
+        help="record spans and metrics for this run and write them to FILE as "
+        "JSONL (docs/schemas/telemetry.schema.json); observation-only -- the "
+        "result itself is byte-identical with or without this flag",
+    )
+
+
 def _add_payload_output_flags(parser: argparse.ArgumentParser) -> None:
     """Output surface for the tool subcommands (JSON payloads, not results)."""
     group = parser.add_argument_group("output options")
@@ -152,7 +166,7 @@ def _add_tool_subcommands(subparsers) -> None:
 
     bench = subparsers.add_parser(
         "bench",
-        help="emit the benchmark trajectory (median-of-k wall times, BENCH_9.json)",
+        help="emit the benchmark trajectory (median-of-k wall times, BENCH_10.json)",
         description="Re-run the benchmarks/ workloads deterministically and emit "
         "the BENCH trajectory document: per-benchmark median-of-k wall times, "
         "kernel speedups vs the pure-Python references, machine fingerprint and "
@@ -162,7 +176,7 @@ def _add_tool_subcommands(subparsers) -> None:
     bench.add_argument(
         "--quick",
         action="store_true",
-        help="CI-sized inputs (the checked-in BENCH_9.json uses full sizes)",
+        help="CI-sized inputs (the checked-in BENCH_10.json uses full sizes)",
     )
     bench.add_argument(
         "--repeats",
@@ -313,6 +327,33 @@ def _add_tool_subcommands(subparsers) -> None:
     )
     _add_output_flags(submit)
 
+    obs = subparsers.add_parser(
+        "obs",
+        help="inspect a recorded telemetry stream (render a summary or a Chrome trace)",
+        description="Inspect a telemetry JSONL stream recorded with "
+        "`repro <experiment> --telemetry FILE`: `render` validates the stream "
+        "and prints a human-readable summary; `chrome` converts it to a Chrome "
+        "trace-event JSON loadable in chrome://tracing or Perfetto.",
+        allow_abbrev=False,
+    )
+    obs.add_argument(
+        "action",
+        choices=("render", "chrome"),
+        help="render: human-readable summary; chrome: trace-event JSON",
+    )
+    obs.add_argument("file", metavar="FILE", help="telemetry JSONL stream to inspect")
+    obs.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the rendering to FILE instead of stdout ('-' keeps stdout)",
+    )
+    obs.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite the --output file if it already exists",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     # allow_abbrev=False everywhere: prefix matching would let a misplaced
@@ -350,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
         if experiment.supports_runtime:
             _add_runtime_flags(subparser)
         _add_output_flags(subparser)
+        _add_telemetry_flag(subparser)
         # `repro <name> --list` keeps the listing behaviour (distinct dest:
         # argparse copies the subparser namespace over the parent's, which
         # would otherwise clobber a pre-subcommand --list with the default).
@@ -535,19 +577,53 @@ def _run_submit(
     return 0
 
 
+def _run_obs(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Inspect a telemetry stream: validated summary or Chrome trace export."""
+    from repro.obs.schemas import validate_stream
+    from repro.obs.telemetry import chrome_trace_from_records, load_jsonl, render_text
+
+    try:
+        records = load_jsonl(args.file)
+        validate_stream(records)
+    except OSError as error:
+        parser.error(f"obs: cannot read {args.file}: {error}")
+    except ValueError as error:
+        parser.error(f"obs: {args.file}: {error}")
+    if args.action == "chrome":
+        rendered = json.dumps(chrome_trace_from_records(records), sort_keys=True)
+    else:
+        rendered = render_text(records)
+    if args.output in (None, "-"):
+        try:
+            print(rendered)
+        except BrokenPipeError:
+            # `repro obs render stream.jsonl | head` -- the consumer closing
+            # the pipe early is a normal end, not an error.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    target = Path(args.output)
+    if target.exists() and not args.force:
+        parser.error(f"--output: {target} already exists (pass --force to overwrite)")
+    target.write_text(rendered + "\n", encoding="utf-8")
+    print(f"wrote {args.action} rendering to {target}")
+    return 0
+
+
 def _run_tool(
     args: argparse.Namespace,
     parser: argparse.ArgumentParser,
     extras: Optional[List[str]] = None,
 ) -> int:
     """Dispatch the non-experiment tool subcommands (``profile``, ``bench``,
-    ``serve``, ``submit``)."""
+    ``serve``, ``submit``, ``obs``)."""
     # Imported on demand: the tools pull in the experiment registry and the
     # benchmark workloads, which plain experiment runs never need.
     if args.experiment == "serve":
         return _run_serve(args, parser)
     if args.experiment == "submit":
         return _run_submit(args, extras or [], parser)
+    if args.experiment == "obs":
+        return _run_obs(args, parser)
     if args.experiment == "profile":
         from repro.perf import profiler
 
@@ -609,8 +685,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers if args.workers is not None else 1,
             cache=_cache_from(args),
         )
-    result = experiment.run(**params, **run_kwargs)
+    telemetry_file = getattr(args, "telemetry", None)
+    if telemetry_file is None:
+        result = experiment.run(**params, **run_kwargs)
+        _deliver(result, args, parser)
+        return 0
+
+    # Telemetry is observation-only: spans and metrics are collected on the
+    # side and the result delivered below is byte-identical to an untracked
+    # run (the determinism tests pin this).  The notice goes to stderr so a
+    # piped `--output -` stream stays clean.
+    from repro.obs import TELEMETRY, enable, telemetry_enabled
+
+    was_enabled = telemetry_enabled()
+    TELEMETRY.reset()
+    enable(True)
+    try:
+        result = experiment.run(**params, **run_kwargs)
+    finally:
+        enable(was_enabled)
     _deliver(result, args, parser)
+    target = TELEMETRY.export_jsonl(telemetry_file, experiment=args.experiment)
+    print(f"wrote telemetry stream to {target}", file=sys.stderr)
     return 0
 
 

@@ -46,6 +46,7 @@ from typing import (
 
 from repro.analysis.reporting import json_safe, render_csv
 from repro.experiments.runner import run_many
+from repro.obs.spans import span
 from repro.runtime.seeding import seed_grid
 
 #: Version stamp carried in every JSON payload (bump on breaking changes).
@@ -317,7 +318,9 @@ class Experiment:
 
     def run(self, *, runtime: Optional[RuntimeOptions] = None, **overrides) -> ExperimentResult:
         """Run the experiment: resolve params, build, execute, reduce."""
-        params = self.normalize(self.resolve_params(overrides))
-        grid = self.build_grid(params)
-        outcomes = self.execute(grid, runtime or RuntimeOptions())
-        return self.reduce(outcomes, params)
+        with span("experiment.run", experiment=self.name):
+            params = self.normalize(self.resolve_params(overrides))
+            grid = self.build_grid(params)
+            outcomes = self.execute(grid, runtime or RuntimeOptions())
+            with span("experiment.reduce", experiment=self.name):
+                return self.reduce(outcomes, params)

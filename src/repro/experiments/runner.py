@@ -28,6 +28,7 @@ from repro.core.maxmin.policy import (
 )
 from repro.experiments.config import ExperimentConfig, TrialOutcome
 from repro.network.demand import RequestSequence
+from repro.obs.spans import span
 from repro.network.generation import make_generation_process
 from repro.network.topologies import topology_from_name
 from repro.network.topology import Topology
@@ -158,14 +159,36 @@ def build_protocol(
 
 
 def run_trial(config: ExperimentConfig) -> TrialOutcome:
-    """Run one full trial and reduce it to a :class:`TrialOutcome`."""
-    streams = RandomStreams(config.seed)
-    topology = build_topology(config, streams)
-    workload = build_workload_requests(config, topology, streams)
-    requests = workload.requests
-    protocol = build_protocol(config, topology, requests, streams)
-    result = protocol.run()
+    """Run one full trial and reduce it to a :class:`TrialOutcome`.
 
+    Every stage is wrapped in an observation-only telemetry span (no-ops
+    unless ``REPRO_TELEMETRY`` is set; see :mod:`repro.obs.spans`): spans
+    read the wall clock but never any RNG stream, so the outcome is
+    byte-identical with telemetry on or off.
+    """
+    with span(
+        "trial.run",
+        protocol=config.protocol,
+        topology=config.topology,
+        n_nodes=config.n_nodes,
+        seed=config.seed,
+    ):
+        streams = RandomStreams(config.seed)
+        with span("trial.topology"):
+            topology = build_topology(config, streams)
+        with span("trial.workload"):
+            workload = build_workload_requests(config, topology, streams)
+        requests = workload.requests
+        with span("trial.routing"):
+            protocol = build_protocol(config, topology, requests, streams)
+        with span("trial.rounds"):
+            result = protocol.run()
+        with span("trial.reduce"):
+            return _reduce_trial(config, topology, workload, requests, protocol, result)
+
+
+def _reduce_trial(config, topology, workload, requests, protocol, result) -> TrialOutcome:
+    """Fold one protocol run into its :class:`TrialOutcome` (the reduce stage)."""
     exact = swap_overhead_from_result(
         topology, result, distillation=config.distillation, variant="exact"
     )
@@ -205,6 +228,7 @@ def run_trial(config: ExperimentConfig) -> TrialOutcome:
             len(workload.consumer_groups) if workload.consumer_groups else None
         ),
         fusions_performed=result.fusions_performed,
+        trace_dropped=result.trace_dropped,
     )
 
 

@@ -1,0 +1,55 @@
+"""Unified telemetry: spans, the hub, exposition, and schemas.
+
+The observability layer of the reproduction (see the "Observability"
+section of ``docs/architecture.md``):
+
+* :mod:`repro.obs.spans` -- the nestable ``span()`` context manager and the
+  per-process buffers it fills, gated by ``REPRO_TELEMETRY``.
+* :mod:`repro.obs.telemetry` -- the :class:`Telemetry` hub unifying metric
+  registries, trace recorders and span buffers behind ``snapshot()`` /
+  ``export_jsonl()`` / ``chrome_trace()``.
+* :mod:`repro.obs.exposition` -- Prometheus-style text exposition of a
+  metric registry (the serve daemon's ``metrics`` verb).
+* :mod:`repro.obs.schemas` -- JSON schemas for the telemetry JSONL stream
+  and the Chrome trace export, checked in at
+  ``docs/schemas/telemetry.schema.json``.
+
+Telemetry is strictly observation-only: enabling it never changes any
+result byte (``tests/test_obs_determinism.py`` enforces this).
+"""
+
+from repro.obs.spans import (
+    SPAN_BUFFER,
+    SPAN_NAMES,
+    TELEMETRY_ENV,
+    SpanBuffer,
+    SpanRecord,
+    disable,
+    emit,
+    enable,
+    span,
+    telemetry_enabled,
+)
+from repro.obs.telemetry import (
+    HUB_METRIC_NAMES,
+    TELEMETRY,
+    TELEMETRY_SCHEMA_VERSION,
+    Telemetry,
+)
+
+__all__ = [
+    "SPAN_BUFFER",
+    "SPAN_NAMES",
+    "TELEMETRY",
+    "TELEMETRY_ENV",
+    "TELEMETRY_SCHEMA_VERSION",
+    "HUB_METRIC_NAMES",
+    "SpanBuffer",
+    "SpanRecord",
+    "Telemetry",
+    "disable",
+    "emit",
+    "enable",
+    "span",
+    "telemetry_enabled",
+]

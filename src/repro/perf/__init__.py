@@ -11,7 +11,7 @@ Split across four modules:
 * :mod:`repro.perf.profiler` — ``repro profile <experiment>``: run a
   registered experiment under cProfile and emit a schema-validated report.
 * :mod:`repro.perf.bench` — ``repro bench``: the quick deterministic
-  benchmark trajectory written to ``BENCH_9.json``.
+  benchmark trajectory written to ``BENCH_10.json``.
 
 Only the kernels API is re-exported here; the profiler and bench modules
 import the experiment layer and are loaded on demand by the CLI.

@@ -5,16 +5,17 @@ accelerated kernels against their pure-Python references, the vectorized
 Werner batch algebra, the vectorized arrival sampling, the incremental
 balancer's convergence (through the group-keyed notification channel and
 rewired to the historical pair channel, so the group layer's overhead on
-pair workloads stays measured), a quick figure-4 sweep, and the serve
-daemon's submit-to-result roundtrip (cold vs answered from the shared
-result memo) — in a deterministic quick mode, and emits one JSON
-document: per-benchmark median-of-k wall times (see
-:mod:`repro.perf.timing`), the machine fingerprint, and the git revision.
-The checked-in snapshot lives at ``BENCH_9.json`` in the repo root
-(``BENCH_6.json`` and ``BENCH_7.json`` are prior issues' trajectories,
+pair workloads stays measured), a quick figure-4 sweep, the telemetry
+layer's span overhead on an instrumented trial, and the serve daemon's
+submit-to-result roundtrip (cold vs answered from the shared result
+memo) — in a deterministic quick mode, and emits one JSON document:
+per-benchmark median-of-k wall times (see :mod:`repro.perf.timing`), the
+machine fingerprint, and the git revision.  The checked-in snapshot
+lives at ``BENCH_10.json`` in the repo root (``BENCH_6.json``,
+``BENCH_7.json``, and ``BENCH_9.json`` are prior issues' trajectories,
 kept for history), regenerated with::
 
-    PYTHONPATH=src python -m repro bench --output BENCH_9.json --force
+    PYTHONPATH=src python -m repro bench --output BENCH_10.json --force
 
 so future sessions can see the perf trajectory instead of guessing.  CI
 re-emits and schema-validates the document on every push (the
@@ -255,6 +256,52 @@ def _figure4_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]
     }
 
 
+def _obs_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
+    """The telemetry layer's tax on an instrumented trial.
+
+    ``median_seconds`` is one full trial with spans recording; the
+    reference is the identical trial with telemetry disabled (the shipped
+    default).  The ratio is the observability overhead the docs promise
+    stays under 5% -- ``benchmarks/test_bench_obs.py`` asserts it.
+    """
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_trial
+    from repro.obs.spans import SPAN_BUFFER, enable
+
+    config = ExperimentConfig(
+        topology="cycle",
+        n_nodes=15 if quick else 25,
+        n_consumer_pairs=10 if quick else 35,
+        n_requests=12 if quick else 50,
+    )
+
+    def instrumented():
+        run_trial(config)
+        SPAN_BUFFER.clear()
+
+    def plain():
+        run_trial(config)
+
+    # An extra warmup absorbs the cold first trial (imports, numpy JIT-ish
+    # caches) that would otherwise inflate whichever side runs first.
+    warmup = max(warmup, 2)
+    enable(False)
+    disabled_seconds = median_of_k(plain, repeats=repeats, warmup=warmup)
+    enable(True)
+    try:
+        enabled_seconds = median_of_k(instrumented, repeats=repeats, warmup=warmup)
+    finally:
+        enable(False)
+        SPAN_BUFFER.clear()
+    return {
+        "name": "obs.span_overhead",
+        "group": "obs",
+        "median_seconds": enabled_seconds,
+        "reference_median_seconds": disabled_seconds,
+        "speedup": disabled_seconds / enabled_seconds if enabled_seconds > 0 else None,
+    }
+
+
 def _serve_roundtrip_benchmark(repeats: int, warmup: int, quick: bool) -> Dict[str, Any]:
     """Submit-to-result latency through a live serve daemon on a Unix socket.
 
@@ -346,11 +393,12 @@ def run_bench(
     benchmarks.append(_balancer_benchmark(repeats, warmup, quick))
     benchmarks.append(_group_ledger_benchmark(repeats, warmup, quick))
     benchmarks.append(_figure4_benchmark(repeats, warmup, quick))
+    benchmarks.append(_obs_benchmark(repeats, warmup, quick))
     benchmarks.append(_serve_roundtrip_benchmark(repeats, warmup, quick))
     payload = {
         "schema_version": PERF_SCHEMA_VERSION,
         "kind": "bench",
-        "issue": 9,
+        "issue": 10,
         "git_rev": git_revision(),
         "kernels_backend": active_backend(),
         "machine": machine_fingerprint(),

@@ -5,7 +5,7 @@ in :mod:`repro.experiments.schema`:
 
 * :data:`PROFILE_SCHEMA` — the report ``repro profile <experiment>`` emits.
 * :data:`BENCH_SCHEMA` — the benchmark trajectory ``repro bench`` emits
-  (checked in as ``BENCH_9.json`` and re-validated in CI).
+  (checked in as ``BENCH_10.json`` and re-validated in CI).
 
 Usable as a CI filter::
 

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import abc
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Union
 
 import numpy as np
+
+from repro.obs.spans import emit as emit_span
+from repro.obs.spans import telemetry_enabled
 
 from repro.core.lp.extensions import PairOverheads
 from repro.core.maxmin.ledger import PairCountLedger
@@ -56,6 +60,10 @@ class ProtocolResult:
     #: Local GHZ-merge operations performed while serving multicast groups
     #: (always 0 for pair-only workloads and the independent-sessions strategy).
     fusions_performed: int = 0
+    #: Trace records dropped by a capacity-capped recorder during the run
+    #: (0 when tracing was off or nothing overflowed).  Surfaced so a capped
+    #: trace can never silently present itself as complete.
+    trace_dropped: int = 0
 
     @property
     def all_requests_satisfied(self) -> bool:
@@ -240,8 +248,40 @@ class SwappingProtocol(abc.ABC):
         if self.trace is not None:
             simulator.add_hook(RoundPhase.BOOKKEEPING, self._trace_round_summary)
         simulator.add_stop_condition(lambda _: self.requests.all_satisfied)
+        run_start = time.perf_counter()
         self.rounds_executed = simulator.run()
+        if telemetry_enabled():
+            self._emit_phase_spans(simulator, run_start)
         return self._build_result()
+
+    #: Round phase -> the aggregate span name it reports under.
+    _PHASE_SPANS = {
+        RoundPhase.GENERATION.value: "trial.generation",
+        RoundPhase.BALANCING.value: "trial.balance",
+        RoundPhase.CONSUMPTION.value: "trial.consumption",
+        RoundPhase.BOOKKEEPING.value: "trial.bookkeeping",
+    }
+
+    def _emit_phase_spans(self, simulator: RoundBasedSimulator, run_start: float) -> None:
+        """One synthetic span per phase, cumulative over every round.
+
+        Per-round spans would cost four buffer appends per round (hundreds
+        of thousands for long runs) and drown any viewer; the simulator
+        instead accumulates per-phase wall time and this lays the four
+        aggregates back-to-back from the run's start, so a trace viewer
+        shows where the round loop's time went at a glance.
+        """
+        start = run_start
+        for phase_value, name in self._PHASE_SPANS.items():
+            seconds = simulator.phase_seconds[phase_value]
+            emit_span(
+                name,
+                start=start,
+                duration=seconds,
+                rounds=self.rounds_executed,
+                aggregate=True,
+            )
+            start += seconds
 
     def _trace_round_summary(self, round_index: int) -> None:
         """Record the round's end-state so traces are behaviour-sensitive."""
@@ -292,4 +332,5 @@ class SwappingProtocol(abc.ABC):
             swaps_by_node=self.swaps_by_node(),
             classical_overhead=self.classical_overhead(),
             fusions_performed=self.fusions_performed(),
+            trace_dropped=self.trace.dropped if self.trace is not None else 0,
         )

@@ -27,6 +27,7 @@ from multiprocessing import get_context
 from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig, TrialOutcome
+from repro.obs.spans import SPAN_BUFFER, SpanRecord, span, telemetry_enabled
 from repro.runtime.cache import ResultCache
 
 #: Environment variable supplying the default worker count.
@@ -54,6 +55,21 @@ def _compute_trial(config: ExperimentConfig) -> TrialOutcome:
     from repro.experiments.runner import run_trial
 
     return run_trial(config)
+
+
+def _compute_trial_with_spans(config: ExperimentConfig):
+    """Telemetry worker entry: the trial outcome plus its span records.
+
+    Spawned workers inherit ``REPRO_TELEMETRY`` through the environment and
+    fill their own process-local buffer; draining it per trial ships the
+    spans back with the outcome so the parent merges them into one stream.
+    The outcome itself is untouched -- telemetry rides alongside, never
+    inside, the cacheable result.
+    """
+    from repro.experiments.runner import run_trial
+
+    outcome = run_trial(config)
+    return outcome, tuple(SPAN_BUFFER.drain())
 
 
 @dataclass
@@ -133,44 +149,69 @@ class SweepRunner:
         report = SweepReport(n_workers=self.n_workers)
         slots: List[Optional[TrialOutcome]] = [None] * len(configs)
 
-        pending: List[int] = []
-        for index, config in enumerate(configs):
-            cached = self.cache.get(config) if self.cache is not None else None
-            if cached is not None:
-                slots[index] = cached
-                report.n_cached += 1
-                if on_result is not None:
-                    on_result(index, cached, True)
-            else:
-                pending.append(index)
+        with span("sweep.run", cells=len(configs), workers=self.n_workers):
+            pending: List[int] = []
+            for index, config in enumerate(configs):
+                cached = self.cache.get(config) if self.cache is not None else None
+                if cached is not None:
+                    slots[index] = cached
+                    report.n_cached += 1
+                    if on_result is not None:
+                        on_result(index, cached, True)
+                else:
+                    pending.append(index)
 
-        for index, outcome in zip(pending, self._compute([configs[i] for i in pending])):
-            slots[index] = outcome
-            report.n_computed += 1
-            if self.cache is not None:
-                self.cache.put(configs[index], outcome)
-            if on_result is not None:
-                on_result(index, outcome, False)
+            for index, outcome in zip(pending, self._compute([configs[i] for i in pending])):
+                slots[index] = outcome
+                report.n_computed += 1
+                if self.cache is not None:
+                    self.cache.put(configs[index], outcome)
+                if on_result is not None:
+                    on_result(index, outcome, False)
 
         unfilled = [index for index, slot in enumerate(slots) if slot is None]
         if unfilled:  # the pool yields everything or raises; a hole is a bug here
             raise RuntimeError(f"sweep left cells {unfilled} without an outcome")
         report.outcomes = slots
+        if telemetry_enabled():
+            from repro.obs.telemetry import TELEMETRY
+
+            TELEMETRY.metrics.counter("sweep.cells", "sweep cells requested").increment(
+                report.total
+            )
+            TELEMETRY.metrics.counter("sweep.cached", "cells answered from cache").increment(
+                report.n_cached
+            )
+            TELEMETRY.metrics.counter("sweep.computed", "cells actually computed").increment(
+                report.n_computed
+            )
         return report
 
     def _compute(self, configs: List[ExperimentConfig]) -> Iterator[TrialOutcome]:
         # A pool is pure overhead for a single cell or a single worker.
         if self.n_workers == 1 or len(configs) == 1:
-            for config in configs:
-                yield _compute_trial(config)
+            for index, config in enumerate(configs):
+                with span("sweep.trial", index=index):
+                    outcome = _compute_trial(config)
+                yield outcome
             return
         context = get_context("spawn")
         workers = min(self.n_workers, len(configs))
         with context.Pool(processes=workers) as pool:
             # imap (not map): identical ordered results, but streamed as
             # they finish so per-cell callbacks fire without a barrier.
-            for outcome in pool.imap(_compute_trial, configs, chunksize=self.chunksize):
-                yield outcome
+            if telemetry_enabled():
+                # Workers inherit REPRO_TELEMETRY via the environment and
+                # ship their span buffers back with each outcome; merging
+                # here keeps one stream across the whole process tree.
+                for outcome, spans in pool.imap(
+                    _compute_trial_with_spans, configs, chunksize=self.chunksize
+                ):
+                    SPAN_BUFFER.extend(spans)
+                    yield outcome
+            else:
+                for outcome in pool.imap(_compute_trial, configs, chunksize=self.chunksize):
+                    yield outcome
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SweepRunner(n_workers={self.n_workers}, cache={self.cache!r})"

@@ -154,6 +154,10 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")["stats"]
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus-style text exposition (``metrics`` verb)."""
+        return self.request("metrics")["exposition"]
+
     def run(
         self,
         experiment: str,

@@ -60,9 +60,61 @@ from repro.serve.protocol import (
 )
 from repro.serve.queue import Job, JobQueue, QueueFull
 from repro.serve.worker import WorkerPool
+from repro.sim.metrics import MetricRegistry
 
 #: Default bound on pending submissions.
 DEFAULT_QUEUE_DEPTH = 64
+
+#: Every metric family the daemon registers, exposed through the ``metrics``
+#: verb as a Prometheus-style text exposition (``repro_`` prefix, dots to
+#: underscores -- see :mod:`repro.obs.exposition`).  The docs gate
+#: (tests/test_docs.py) requires each name to be a backticked doc token.
+SERVE_METRIC_NAMES: Tuple[str, ...] = (
+    # submission counters (mirrored 1:1 into the `stats` verb payload)
+    "serve.submitted",
+    "serve.coalesced",
+    "serve.result_cache.hits",
+    "serve.result_cache.misses",
+    "serve.rejected.admission",
+    "serve.rejected.queue_full",
+    "serve.rejected.draining",
+    "serve.rejected.invalid",
+    "serve.jobs.completed",
+    "serve.jobs.failed",
+    "serve.jobs.cancelled",
+    # job-stage counters (queued -> admitted -> running -> terminal)
+    "serve.jobs.queued",
+    "serve.jobs.admitted",
+    "serve.jobs.running",
+    # point-in-time gauges, refreshed per exposition
+    "serve.queue.depth",
+    "serve.queue.capacity",
+    "serve.workers.total",
+    "serve.workers.busy",
+    "serve.uptime.seconds",
+    # shared trial-cache gauges (registered only when a cache is configured)
+    "serve.trial_cache.hits",
+    "serve.trial_cache.misses",
+    "serve.trial_cache.stores",
+)
+
+#: ``stats`` payload key -> metric family backing it.  Insertion order is
+#: the byte-compatibility contract: the ``stats`` verb has rendered these
+#: keys in exactly this order since service mode landed, and the snapshot
+#: below iterates this mapping to preserve that.
+_STAT_METRICS: Dict[str, str] = {
+    "submitted": "serve.submitted",
+    "coalesced": "serve.coalesced",
+    "result_cache_hits": "serve.result_cache.hits",
+    "result_cache_misses": "serve.result_cache.misses",
+    "rejected_admission": "serve.rejected.admission",
+    "rejected_queue_full": "serve.rejected.queue_full",
+    "rejected_draining": "serve.rejected.draining",
+    "rejected_invalid": "serve.rejected.invalid",
+    "completed": "serve.jobs.completed",
+    "failed": "serve.jobs.failed",
+    "cancelled": "serve.jobs.cancelled",
+}
 
 
 class _Connection:
@@ -174,6 +226,7 @@ class ServeDaemon:
         self.stats_file = stats_file
         self.queue = JobQueue(depth=queue_depth)
         self.admission = ServeAdmission(rate=admission_rate, burst=admission_burst)
+        self.metrics = MetricRegistry()
         self.pool = WorkerPool(
             self.queue,
             n_workers=workers,
@@ -181,6 +234,7 @@ class ServeDaemon:
             job_timeout=job_timeout,
             retries=retries,
             on_event=self._on_job_event,
+            metrics=self.metrics,
         )
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -192,18 +246,13 @@ class ServeDaemon:
         self._conn_counter = 0
         self._started = time.monotonic()
         self._state = "stopped"
+        # Stats-key -> Counter on the shared registry: the `stats` verb
+        # renders these (insertion order preserved, values int-cast) exactly
+        # as the pre-registry dict of plain ints did, while the `metrics`
+        # verb expositions the same counters without a second bookkeeping
+        # path that could drift.
         self._stats = {
-            "submitted": 0,
-            "coalesced": 0,
-            "result_cache_hits": 0,
-            "result_cache_misses": 0,
-            "rejected_admission": 0,
-            "rejected_queue_full": 0,
-            "rejected_draining": 0,
-            "rejected_invalid": 0,
-            "completed": 0,
-            "failed": 0,
-            "cancelled": 0,
+            key: self.metrics.counter(name) for key, name in _STAT_METRICS.items()
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -334,7 +383,7 @@ class ServeDaemon:
         try:
             request = parse_request(line)
         except ProtocolError as error:
-            self._stats["rejected_invalid"] += 1
+            self._stats["rejected_invalid"].increment()
             return error_response("invalid", error.code, str(error))
         handler = getattr(self, f"_handle_{request['op']}")
         try:
@@ -363,7 +412,7 @@ class ServeDaemon:
         request_id = request.get("id")
         client = request.get("client") or connection.default_client
         if self._state != "serving":
-            self._stats["rejected_draining"] += 1
+            self._stats["rejected_draining"].increment()
             raise ProtocolError(503, "daemon is draining; not accepting submissions")
         name = request.get("experiment")
         if not name:
@@ -391,10 +440,10 @@ class ServeDaemon:
             if existing is not None and existing.state in ("queued", "running", "done"):
                 existing.clients.append(client)
                 if existing.state == "done":
-                    self._stats["result_cache_hits"] += 1
+                    self._stats["result_cache_hits"].increment()
                     cached = True
                 else:
-                    self._stats["coalesced"] += 1
+                    self._stats["coalesced"].increment()
                     cached = False
                 if stream and not existing.finished and connection not in existing.subscribers:
                     existing.subscribers.append(connection)
@@ -410,11 +459,11 @@ class ServeDaemon:
                     connection.send(end_event(existing.job_id, existing.state))
                     return None
                 return response
-            self._stats["result_cache_misses"] += 1
+            self._stats["result_cache_misses"].increment()
 
             admitted, retry_after = self.admission.admit(client)
             if not admitted:
-                self._stats["rejected_admission"] += 1
+                self._stats["rejected_admission"].increment()
                 raise ProtocolError(
                     429,
                     f"client {client!r} exceeded the submission rate "
@@ -422,6 +471,7 @@ class ServeDaemon:
                     f"retry in {retry_after:.2f}s",
                     retry_after=retry_after,
                 )
+            self.metrics.counter("serve.jobs.admitted").increment()
 
             self._job_counter += 1
             job = Job(
@@ -437,11 +487,12 @@ class ServeDaemon:
             try:
                 self.queue.push(job)
             except QueueFull as error:
-                self._stats["rejected_queue_full"] += 1
+                self._stats["rejected_queue_full"].increment()
                 raise ProtocolError(429, str(error)) from None
             self._jobs[job.job_id] = job
             self._by_digest[digest] = job.job_id
-            self._stats["submitted"] += 1
+            self._stats["submitted"].increment()
+            self.metrics.counter("serve.jobs.queued").increment()
         return ok_response(
             "submit", request_id, job=job.job_id, state=job.state, cached=False
         )
@@ -538,13 +589,44 @@ class ServeDaemon:
     ) -> Dict[str, Any]:
         return ok_response("stats", request.get("id"), stats=self.stats_snapshot())
 
+    def _handle_metrics(
+        self, request: Dict[str, Any], connection: _Connection
+    ) -> Dict[str, Any]:
+        return ok_response(
+            "metrics", request.get("id"), exposition=self.metrics_exposition()
+        )
+
+    def metrics_exposition(self) -> str:
+        """The registry as a Prometheus-style text exposition.
+
+        Counters are live; the point-in-time gauges (queue depth, busy
+        workers, uptime, trial-cache totals) are refreshed here so every
+        scrape sees current values.
+        """
+        from repro.obs.exposition import render_exposition
+
+        self.metrics.gauge("serve.queue.depth").set(len(self.queue))
+        self.metrics.gauge("serve.queue.capacity").set(self.queue.depth)
+        self.metrics.gauge("serve.workers.total").set(self.pool.n_workers)
+        self.metrics.gauge("serve.workers.busy").set(self.pool.busy)
+        self.metrics.gauge("serve.uptime.seconds").set(time.monotonic() - self._started)
+        if self.cache is not None:
+            self.metrics.gauge("serve.trial_cache.hits").set(self.cache.stats.hits)
+            self.metrics.gauge("serve.trial_cache.misses").set(self.cache.stats.misses)
+            self.metrics.gauge("serve.trial_cache.stores").set(self.cache.stats.stores)
+        return render_exposition(self.metrics)
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """Every counter the daemon keeps, as one JSON-ready object."""
         with self._lock:
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
-            snapshot: Dict[str, Any] = dict(self._stats)
+            # int(): the counters predate the registry as plain ints; the
+            # `stats` payload stays byte-for-byte what it rendered then.
+            snapshot: Dict[str, Any] = {
+                key: int(counter.value) for key, counter in self._stats.items()
+            }
         snapshot.update(
             {
                 "state": self._state,
@@ -581,7 +663,7 @@ class ServeDaemon:
                     key = {"done": "completed", "error": "failed", "cancelled": "cancelled"}[
                         job.state
                     ]
-                    self._stats[key] += 1
+                    self._stats[key].increment()
             message = end_event(job.job_id, job.state)
         else:
             message = progress_event(

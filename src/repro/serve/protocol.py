@@ -5,7 +5,7 @@ JSON): the same dependency-light convention the experiment results already
 use, so any language with a socket and a JSON parser is a client.
 
 Requests carry an ``op`` verb -- `submit`, `status`, `result`, `cancel`,
-`list`, `health`, or `stats` -- plus the verb's fields; responses echo the
+`list`, `health`, `stats`, or `metrics` -- plus the verb's fields; responses echo the
 ``op`` (and the optional client correlation ``id``) and carry ``ok`` plus
 either the payload or a structured ``error`` object with an HTTP-flavoured
 ``code`` (``400`` malformed request, ``404`` unknown job/experiment,
@@ -33,7 +33,16 @@ from typing import Any, Dict, Optional, Tuple
 SERVE_PROTOCOL_VERSION = 1
 
 #: Every request verb the daemon answers.
-VERBS: Tuple[str, ...] = ("submit", "status", "result", "cancel", "list", "health", "stats")
+VERBS: Tuple[str, ...] = (
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "list",
+    "health",
+    "stats",
+    "metrics",
+)
 
 #: The job lifecycle states a response's ``state`` field can carry.
 JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "error", "cancelled")
@@ -83,6 +92,8 @@ RESPONSE_SCHEMA: Dict[str, Any] = {
         "result": {"type": "object"},
         "jobs": {"type": "array", "items": {"type": "object"}},
         "stats": {"type": "object"},
+        # `metrics` responses: the Prometheus-style text exposition.
+        "exposition": {"type": "string"},
         "error": {
             "type": "object",
             "required": ["code", "kind", "message"],

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -45,6 +46,9 @@ class Job:
     attempts: int = 0
     result: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, Any]] = None
+    #: ``time.perf_counter()`` at queue push; the worker turns the wait into
+    #: a ``serve.job.queued`` telemetry span (0.0 = never queued).
+    queued_at: float = 0.0
     #: Clients that coalesced onto this job (first submitter included).
     clients: List[str] = field(default_factory=list)
     #: Set once the job reaches a terminal state (done/error/cancelled).
@@ -115,6 +119,7 @@ class JobQueue:
                 raise QueueFull(
                     f"job queue is full ({self.depth} pending job(s)); retry later"
                 )
+            job.queued_at = time.perf_counter()
             heapq.heappush(self._heap, (-job.priority, next(self._sequence), job))
             self._not_empty.notify()
 

@@ -27,9 +27,12 @@ from typing import Callable, List, Optional
 
 from repro.experiments.registry import get_experiment
 from repro.experiments.schema import validate_payload
+from repro.obs.spans import emit as emit_span
+from repro.obs.spans import span, telemetry_enabled
 from repro.runtime.cache import ResultCache
 from repro.runtime.sweep import SweepRunner
 from repro.serve.queue import Job, JobQueue
+from repro.sim.metrics import MetricRegistry
 
 
 class JobCancelled(Exception):
@@ -64,6 +67,9 @@ class WorkerPool:
         ``sweep_factory(cache)`` returning the runner to execute one
         attempt with -- injectable so tests can simulate crashes
         deterministically.  Defaults to an in-process ``SweepRunner``.
+    metrics:
+        Optional shared :class:`MetricRegistry` (the daemon's): workers
+        count job starts on ``serve.jobs.running`` there.
     """
 
     def __init__(
@@ -75,6 +81,7 @@ class WorkerPool:
         retries: int = 1,
         on_event: Optional[Callable[[Job], None]] = None,
         sweep_factory: Optional[Callable[[Optional[ResultCache]], SweepRunner]] = None,
+        metrics: Optional[MetricRegistry] = None,
     ):
         if n_workers < 1:
             raise ValueError(f"worker count must be at least 1, got {n_workers}")
@@ -89,10 +96,17 @@ class WorkerPool:
         self.sweep_factory = sweep_factory or (
             lambda cache: SweepRunner(n_workers=1, cache=cache)
         )
+        self.metrics = metrics
         self._threads: List[threading.Thread] = []
         self._busy = 0
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
+
+    @property
+    def busy(self) -> int:
+        """Workers currently executing a job (the ``serve.workers.busy`` gauge)."""
+        with self._lock:
+            return self._busy
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -155,12 +169,31 @@ class WorkerPool:
             self._emit(job)
             return
         job.state = "running"
+        if self.metrics is not None:
+            self.metrics.counter("serve.jobs.running").increment()
+        if telemetry_enabled() and job.queued_at:
+            # The queue wait spans two threads (push on the acceptor, pop
+            # here), so it cannot wrap a `with` block: record it as an
+            # already-measured interval.
+            emit_span(
+                "serve.job.queued",
+                job.queued_at,
+                time.perf_counter() - job.queued_at,
+                job=job.job_id,
+                experiment=job.experiment,
+            )
         started = time.monotonic()
         last_error: Optional[BaseException] = None
         for attempt in range(1 + self.retries):
             job.attempts = attempt + 1
             try:
-                self._run_attempt(job, started)
+                with span(
+                    "serve.job.running",
+                    job=job.job_id,
+                    experiment=job.experiment,
+                    attempt=attempt + 1,
+                ):
+                    self._run_attempt(job, started)
                 return
             except JobCancelled:
                 job.state = "cancelled"

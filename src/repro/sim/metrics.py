@@ -216,6 +216,18 @@ class MetricRegistry:
     def gauges(self) -> Dict[str, float]:
         return {name: gauge.value for name, gauge in self._gauges.items()}
 
+    def iter_counters(self) -> List[Counter]:
+        """The registered counters, sorted by name (for expositions)."""
+        return [self._counters[name] for name in sorted(self._counters)]
+
+    def iter_gauges(self) -> List[Gauge]:
+        """The registered gauges, sorted by name (for expositions)."""
+        return [self._gauges[name] for name in sorted(self._gauges)]
+
+    def iter_histograms(self) -> List[Histogram]:
+        """The registered histograms, sorted by name (for expositions)."""
+        return [self._histograms[name] for name in sorted(self._histograms)]
+
     def snapshot(self) -> Dict[str, float]:
         """Flatten all scalar metrics into one dictionary (for reports)."""
         snapshot: Dict[str, float] = {}

@@ -20,9 +20,11 @@ owns the loop, the clock and the termination conditions.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.spans import telemetry_enabled
 from repro.sim.clock import SimulationClock
 from repro.sim.metrics import MetricRegistry
 from repro.sim.tracing import TraceRecorder
@@ -77,6 +79,11 @@ class RoundBasedSimulator:
         self._hooks: Dict[RoundPhase, List[RoundHook]] = {phase: [] for phase in RoundPhase}
         self._stop_predicates: List[Callable[[int], bool]] = []
         self.completed_rounds = 0
+        #: Cumulative wall-clock seconds spent per phase, filled only while
+        #: telemetry is enabled (the flag is cached once per simulator so
+        #: the per-phase cost while disabled is a single branch).
+        self.phase_seconds: Dict[str, float] = {phase.value: 0.0 for phase in RoundPhase}
+        self._timed = telemetry_enabled()
 
     # ------------------------------------------------------------------ #
     # Configuration
@@ -128,10 +135,18 @@ class RoundBasedSimulator:
             RoundPhase.CONSUMPTION,
             RoundPhase.BOOKKEEPING,
         ):
-            for hook in self._hooks[phase]:
-                outcome = hook(round_index)
-                if outcome:
-                    stop_requested = True
+            if self._timed:
+                phase_start = time.perf_counter()
+                for hook in self._hooks[phase]:
+                    outcome = hook(round_index)
+                    if outcome:
+                        stop_requested = True
+                self.phase_seconds[phase.value] += time.perf_counter() - phase_start
+            else:
+                for hook in self._hooks[phase]:
+                    outcome = hook(round_index)
+                    if outcome:
+                        stop_requested = True
             if self.trace is not None:
                 self.trace.record(self.clock.now, f"phase.{phase.value}", {"round": round_index})
         self.completed_rounds += 1

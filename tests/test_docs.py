@@ -258,6 +258,36 @@ def test_serve_protocol_surface_is_documented():
         assert not missing, f"`repro {command}` flags missing from the docs: {missing}"
 
 
+def test_every_span_and_metric_family_is_documented():
+    """Registry gate: the observability surface -- every telemetry span
+    name plus every hub and serve metric family -- must appear backticked
+    in README/docs, so instrumentation can never grow undocumented."""
+    from repro.obs.spans import SPAN_NAMES
+    from repro.obs.telemetry import HUB_METRIC_NAMES
+    from repro.serve.daemon import SERVE_METRIC_NAMES
+
+    tokens = set(re.findall(r"`([a-z][a-z0-9._-]*)`", _doc_text()))
+    for collection, kind in (
+        (SPAN_NAMES, "span"),
+        (HUB_METRIC_NAMES, "hub metric family"),
+        (SERVE_METRIC_NAMES, "serve metric family"),
+    ):
+        missing = [name for name in collection if name not in tokens]
+        assert not missing, f"telemetry {kind} names missing from the docs: {missing}"
+
+
+def test_checked_in_telemetry_schema_matches_canonical():
+    """docs/schemas/telemetry.schema.json must never drift from the code."""
+    from repro.obs.schemas import TELEMETRY_SCHEMA
+
+    checked_in = json.loads(
+        (REPO_ROOT / "docs" / "schemas" / "telemetry.schema.json").read_text(
+            encoding="utf-8"
+        )
+    )
+    assert checked_in == TELEMETRY_SCHEMA
+
+
 def test_every_experiment_has_a_ci_invocation():
     """Registry gate: every registered experiment must be exercised by CI
     with a ``--smoke``-or-small invocation."""

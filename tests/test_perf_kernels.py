@@ -380,7 +380,7 @@ class TestBench:
     def test_quick_trajectory_is_schema_valid_and_fast_kernels_win(self):
         payload = run_bench(repeats=2, warmup=1, quick=True)
         validate_bench(payload)
-        assert payload["kind"] == "bench" and payload["issue"] == 9
+        assert payload["kind"] == "bench" and payload["issue"] == 10
         names = {entry["name"] for entry in payload["benchmarks"]}
         assert {f"kernel.{name}" for name in kernel_names()} <= names
         assert "serve.roundtrip" in names

@@ -596,6 +596,68 @@ class TestServeDaemon:
             assert key in snapshot, f"stats snapshot lost the {key!r} counter"
         assert snapshot["trial_cache"] is None  # no trial cache configured here
 
+    def test_stats_payload_stays_byte_compatible_after_registry_migration(self):
+        """Regression for the MetricRegistry migration: the `stats` verb
+        must keep rendering its counters as plain JSON integers, in the
+        exact key order the pre-registry dict produced."""
+        with serve_daemon(workers=1) as daemon:
+            with ServeClient(daemon.address) as client:
+                client.run("figure4", TINY, timeout=60)
+                stats = client.stats()
+        counters = {key: stats[key] for key in list(stats)[:11]}
+        expected = {
+            "submitted": 1, "coalesced": 0, "result_cache_hits": 0,
+            "result_cache_misses": 1, "rejected_admission": 0,
+            "rejected_queue_full": 0, "rejected_draining": 0,
+            "rejected_invalid": 0, "completed": 1, "failed": 0, "cancelled": 0,
+        }
+        # json.dumps equality pins order *and* integer rendering (1, not 1.0).
+        assert json.dumps(counters) == json.dumps(expected)
+
+    def test_metrics_verb_serves_parsable_exposition(self):
+        """The `metrics` verb answers with a Prometheus-style exposition
+        covering the queue, worker, cache, and job-stage families."""
+        from repro.obs.exposition import parse_exposition
+
+        with serve_daemon(workers=1) as daemon:
+            with ServeClient(daemon.address) as client:
+                client.run("figure4", TINY, timeout=60)
+                samples = parse_exposition(client.metrics())
+        assert samples["repro_serve_submitted_total"] == 1.0
+        assert samples["repro_serve_jobs_queued_total"] == 1.0
+        assert samples["repro_serve_jobs_admitted_total"] == 1.0
+        assert samples["repro_serve_jobs_running_total"] == 1.0
+        assert samples["repro_serve_jobs_completed_total"] == 1.0
+        assert samples["repro_serve_result_cache_misses_total"] == 1.0
+        assert samples["repro_serve_workers_total"] == 1.0
+        assert samples["repro_serve_workers_busy"] == 0.0
+        assert samples["repro_serve_queue_depth"] == 0.0
+        assert samples["repro_serve_queue_capacity"] == 64.0
+        assert samples["repro_serve_uptime_seconds"] > 0.0
+
+    def test_metrics_exposition_covers_every_registered_family(self):
+        """Registry gate: after one job, every SERVE_METRIC_NAMES family
+        (trial-cache gauges included, with a cache configured) must appear
+        in the exposition under its sanitized sample name."""
+        from repro.obs.exposition import parse_exposition, sample_name
+        from repro.runtime.cache import ResultCache
+        from repro.serve.daemon import SERVE_METRIC_NAMES
+
+        cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+        try:
+            with serve_daemon(workers=1, cache=ResultCache(cache_dir)) as daemon:
+                with ServeClient(daemon.address) as client:
+                    client.run("figure4", TINY, timeout=60)
+                    samples = parse_exposition(client.metrics())
+            missing = [
+                name for name in SERVE_METRIC_NAMES
+                if sample_name(name) not in samples
+                and sample_name(name) + "_total" not in samples
+            ]
+            assert not missing, f"metric families missing from the exposition: {missing}"
+        finally:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
     def test_tcp_endpoint_serves_too(self):
         daemon = ServeDaemon(port=0, workers=1)
         daemon.start()
